@@ -1,0 +1,64 @@
+"""Benchmarks for the design-space ablations (DESIGN.md A1-A5)."""
+
+from conftest import make_runner, run_experiment
+from repro.harness import ablations
+
+
+def test_ablation_version_bits(benchmark):
+    result = run_experiment(benchmark, lambda r: ablations.version_bits(r))
+    times = {row[0]: float(row[1]) for row in result.rows}
+    # The paper's point: a *small* version number suffices — wrap-around
+    # aliasing only mis-marks (it cannot break correctness), so all widths
+    # land in a narrow band.  (On all-conflicting workloads like sparse,
+    # 1-bit over-marking can even win slightly.)
+    assert max(times.values()) - min(times.values()) < 0.1
+    assert all(value < 1.0 for value in times.values())
+
+
+def test_ablation_fifo_depth(benchmark):
+    result = run_experiment(benchmark, lambda r: ablations.fifo_depth(r))
+    overflow_by_depth = {row[0]: int(row[2]) for row in result.rows}
+    # Overflows decrease monotonically with depth.
+    depths = sorted(overflow_by_depth)
+    for small, large in zip(depths, depths[1:]):
+        assert overflow_by_depth[small] >= overflow_by_depth[large]
+    # A deep-enough FIFO stops overflowing and matches the flush.
+    assert overflow_by_depth[depths[-1]] == 0
+
+
+def test_ablation_upgrade_case(benchmark):
+    result = run_experiment(benchmark, lambda r: ablations.upgrade_case(r))
+    for row in result.row_dicts():
+        # The special case never hurts (it exists to avoid a pathology).
+        assert float(row["with_case"]) <= float(row["without_case"]) + 0.05
+
+
+def test_ablation_home_exclusion(benchmark):
+    result = run_experiment(benchmark, lambda r: ablations.home_exclusion(r))
+    assert len(result.rows) == 2
+
+
+def test_ablation_read_counter(benchmark):
+    result = run_experiment(benchmark, lambda r: ablations.read_counter(r))
+    selfinv = {row[0]: int(row[2]) for row in result.rows}
+    # A 1-bit counter marks exclusives more aggressively than 4 bits.
+    assert selfinv[1] >= selfinv[4]
+
+
+def test_ablation_cache_side(benchmark):
+    result = run_experiment(benchmark, lambda r: ablations.cache_side(r))
+    for row in result.row_dicts():
+        if row["workload"] == "em3d":
+            # Directory-side identification (the paper's choice) beats the
+            # cache-side sketch: the directory sees the sharing pattern.
+            assert float(row["states"]) < float(row["cache_side"])
+
+
+def test_ablation_sc_tearoff(benchmark):
+    result = run_experiment(benchmark, lambda r: ablations.sc_tearoff(r))
+    rows = {row[0]: row for row in result.rows}
+    # EM3D: SC tear-off trades a little time for fewer messages.
+    assert float(rows["em3d"][3]) > 0
+    # Sparse: the one-copy-at-a-time rule destroys its bulk read set —
+    # the reason the paper reserves tear-off for weak consistency.
+    assert float(rows["sparse"][2]) > float(rows["sparse"][1])

@@ -1,0 +1,86 @@
+"""Benchmarks regenerating every figure of the paper's evaluation.
+
+Each benchmark runs the corresponding harness module end-to-end, prints
+the regenerated table (``-s`` to see it), and asserts the paper's
+*qualitative* shape — who wins, roughly by how much, where the collapse
+happens.  Absolute numbers differ (scaled machine, synthetic traces); the
+shape is the reproduction target.
+
+Full scale: ``DSI_BENCH_FULL=1 DSI_BENCH_PROCS=32 pytest benchmarks/ --benchmark-only -s``
+"""
+
+from conftest import norm, rows_by, run_experiment
+from repro.harness import figure2, figure3, figure4, figure5, figure6
+
+
+def test_figure2_coherence_anatomy(benchmark):
+    result = run_experiment(benchmark, lambda _runner: figure2.run())
+    rows = {row[0]: row[1] for row in result.rows}
+    idle = rows["write, no outstanding copy (Idle)"]
+    shared = rows["write, outstanding shared copy"]
+    dsi = rows["write, copy self-invalidated (DSI)"]
+    # The conflicting write costs roughly twice the Idle write (request +
+    # invalidation + ack + response), and DSI restores the Idle cost.
+    assert 1.5 * idle < shared < 2.5 * idle
+    assert dsi == idle
+
+
+def test_figure3_sc_dsi(benchmark):
+    result = run_experiment(benchmark, figure3.run)
+    # SC rows are the normalization base.
+    for row in rows_by(result, protocol="SC"):
+        assert norm(row) == 1.0
+    # EM3D: write-invalidation dominated; both W and DSI help clearly.
+    for cache in ("small", "large"):
+        em3d_w = norm(rows_by(result, workload="em3d", cache=cache, protocol="W")[0])
+        em3d_s = norm(rows_by(result, workload="em3d", cache=cache, protocol="S")[0])
+        assert em3d_w < 0.9
+        assert em3d_s < 0.95
+    # Sparse: DSI at least matches weak consistency (the paper's headline).
+    for cache in ("small", "large"):
+        sparse_w = norm(rows_by(result, workload="sparse", cache=cache, protocol="W")[0])
+        sparse_v = norm(rows_by(result, workload="sparse", cache=cache, protocol="V")[0])
+        assert sparse_v <= sparse_w + 0.02
+        assert sparse_v < 0.95
+    # Ocean: weak consistency wins big; DSI does not (unsynchronized accesses).
+    ocean_w = norm(rows_by(result, workload="ocean", cache="large", protocol="W")[0])
+    ocean_v = norm(rows_by(result, workload="ocean", cache="large", protocol="V")[0])
+    assert ocean_w < 0.8
+    assert ocean_v > ocean_w + 0.1
+    # Barnes: synchronization bound — nothing moves it much.
+    for protocol in ("W", "S", "V"):
+        barnes = norm(rows_by(result, workload="barnes", cache="small", protocol=protocol)[0])
+        assert 0.85 < barnes < 1.1
+
+
+def test_figure4_slow_network(benchmark):
+    result = run_experiment(benchmark, figure4.run)
+    # The slow network amplifies coherence overhead: DSI's saving on EM3D
+    # should be at least as large as at 100 cycles.
+    em3d_s = norm(rows_by(result, workload="em3d", cache="large", protocol="S")[0])
+    assert em3d_s < 0.9
+    sparse_v = norm(rows_by(result, workload="sparse", cache="large", protocol="V")[0])
+    assert sparse_v < 0.95
+
+
+def test_figure5_fifo_vs_flush(benchmark):
+    result = run_experiment(benchmark, figure5.run)
+    for row in result.row_dicts():
+        flush = float(row["flush_norm"])
+        fifo = float(row["fifo_norm"])
+        if row["workload"] == "sparse":
+            # The FIFO overflows and forfeits the benefit (Figure 5).
+            assert int(row["fifo_overflows"]) > 0
+            assert fifo > flush + 0.05
+        else:
+            assert abs(fifo - flush) < 0.05
+
+
+def test_figure6_wc_breakdown(benchmark):
+    result = run_experiment(benchmark, figure6.run)
+    for row in rows_by(result, protocol="W"):
+        assert norm(row) == 1.0
+    sparse = norm(rows_by(result, workload="sparse", protocol="W+V")[0])
+    assert sparse < 0.95  # DSI helps WC on sparse
+    em3d = norm(rows_by(result, workload="em3d", protocol="W+V")[0])
+    assert 0.9 < em3d < 1.1  # ... and not much elsewhere

@@ -1,0 +1,52 @@
+"""Benchmark configuration.
+
+Each paper experiment gets one benchmark that re-runs its harness module
+and prints the regenerated table.  Scale is controlled by environment
+variables so CI stays fast while full-scale reproduction is one command:
+
+``DSI_BENCH_PROCS``  machine size (default 8)
+``DSI_BENCH_FULL``   set to 1 for full-scale workloads (default quick)
+
+Full-scale reproduction of everything:
+``DSI_BENCH_FULL=1 DSI_BENCH_PROCS=32 pytest benchmarks/ --benchmark-only``
+"""
+
+import os
+
+import pytest
+
+from repro.harness.experiment import ExperimentRunner
+
+BENCH_PROCS = int(os.environ.get("DSI_BENCH_PROCS", "8"))
+BENCH_QUICK = os.environ.get("DSI_BENCH_FULL", "0") != "1"
+
+
+def make_runner():
+    return ExperimentRunner(n_procs=BENCH_PROCS, quick=BENCH_QUICK)
+
+
+@pytest.fixture
+def runner():
+    return make_runner()
+
+
+def run_experiment(benchmark, experiment_fn):
+    """Benchmark one experiment module end-to-end and print its table."""
+    result = benchmark.pedantic(
+        lambda: experiment_fn(make_runner()), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    return result
+
+
+def rows_by(result, **filters):
+    """Select row dicts matching all filter equalities."""
+    rows = result.row_dicts()
+    for key, value in filters.items():
+        rows = [row for row in rows if str(row[key]) == str(value)]
+    return rows
+
+
+def norm(row, column="norm_time"):
+    return float(row[column])

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Compare all four paper protocols on one application.
+
+Reproduces one column group of the paper's Figure 3: the EM3D workload
+under SC, weak consistency, and DSI with both identification schemes,
+printing the execution-time breakdown the paper stacks into bars.
+
+Run:  python examples/compare_protocols.py [workload] [n_procs]
+e.g.  python examples/compare_protocols.py sparse 16
+"""
+
+import sys
+
+from repro import format_breakdown_table, format_table
+from repro.harness.configs import SMALL_CACHE, paper_config, workload_args
+from repro.system import Machine
+from repro.workloads import by_name
+
+
+def main(workload="em3d", n_procs=16):
+    args = workload_args(workload, quick=n_procs <= 8, n_procs=n_procs)
+    program = by_name(workload, **args)
+    print(f"workload: {program.describe()}\n")
+
+    results = []
+    for protocol in ("SC", "W", "S", "V"):
+        config = paper_config(protocol, cache=SMALL_CACHE, n_procs=n_procs)
+        result = Machine(config, program).run()
+        result.label = protocol
+        results.append(result)
+
+    print(
+        format_breakdown_table(
+            results,
+            title=f"{workload} on {n_procs} processors "
+            f"(SC = base, W = weak consistency, S/V = DSI states/versions)",
+        )
+    )
+    print()
+    rows = [
+        [r.label, r.exec_time, r.messages.total_network(), r.messages.invalidations()]
+        for r in results
+    ]
+    print(format_table(["protocol", "cycles", "messages", "invalidations"], rows))
+
+
+if __name__ == "__main__":
+    workload = sys.argv[1] if len(sys.argv) > 1 else "em3d"
+    n_procs = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    main(workload, n_procs)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Author your own workload with the TraceBuilder API.
+
+Builds a small pipeline: stage p reads the previous stage's buffer,
+transforms it (compute), writes its own buffer, and synchronizes with a
+barrier — then shows how tear-off blocks (WC+DSI) change the message
+profile, and saves/reloads the program to demonstrate trace IO.
+
+Run:  python examples/custom_workload.py
+"""
+
+import tempfile
+
+from repro import Consistency, IdentifyScheme, Machine, SystemConfig, format_table
+from repro.trace import TraceBuilder, Program, load_program, save_program
+from repro.workloads.base import BLOCK, WORD, WorkloadContext
+
+
+def build_pipeline(n_stages=4, buffer_blocks=8, rounds=6):
+    """Stage p reads stage p-1's buffer and writes its own."""
+    ctx = WorkloadContext("pipeline", n_stages, seed=1)
+    buffers = [ctx.alloc_words(p, buffer_blocks * BLOCK // WORD) for p in range(n_stages)]
+    ctx.barrier_all()
+    for _round in range(rounds):
+        for stage in range(n_stages):
+            builder = ctx.builders[stage]
+            if stage > 0:
+                for block in range(buffer_blocks):
+                    builder.read(buffers[stage - 1] + block * BLOCK)
+            builder.compute(25)
+            for block in range(buffer_blocks):
+                builder.write(buffers[stage] + block * BLOCK)
+        ctx.barrier_all()
+    return ctx.program(rounds=rounds)
+
+
+def profile(label, config, program):
+    result = Machine(config, program).run()
+    messages = result.messages
+    return [
+        label,
+        result.exec_time,
+        messages.total_network(),
+        messages.invalidations(),
+        messages.acknowledgments(),
+        result.misses.tearoff_fills,
+    ]
+
+
+def main():
+    program = build_pipeline()
+    print(f"program: {program.describe()}\n")
+
+    n = program.n_procs
+    base_wc = SystemConfig(n_processors=n, consistency=Consistency.WC)
+    rows = [
+        profile("SC", SystemConfig(n_processors=n), program),
+        profile("WC", base_wc, program),
+        profile("WC+DSI", base_wc.with_(identify=IdentifyScheme.VERSION), program),
+        profile(
+            "WC+DSI+tearoff",
+            base_wc.with_(identify=IdentifyScheme.VERSION, tearoff=True),
+            program,
+        ),
+    ]
+    print(
+        format_table(
+            ["protocol", "cycles", "messages", "INVs", "ACKs", "tearoff fills"],
+            rows,
+            title="Pipeline sharing under each protocol",
+        )
+    )
+
+    # Trace IO round trip.
+    with tempfile.NamedTemporaryFile(suffix=".npz") as handle:
+        save_program(program, handle.name)
+        reloaded = load_program(handle.name)
+    print(f"\nsaved + reloaded: {reloaded.name}, {reloaded.total_ops()} ops — "
+          "identical simulation:",
+          Machine(SystemConfig(n_processors=n), reloaded).run().exec_time
+          == Machine(SystemConfig(n_processors=n), program).run().exec_time)
+
+
+if __name__ == "__main__":
+    main()

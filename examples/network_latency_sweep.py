@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""The paper's closing claim: slower networks make DSI more valuable.
+
+Sweeps the constant network latency from 50 to 2000 cycles on the Sparse
+workload and reports the normalized execution time of weak consistency
+and DSI at each point (cf. §5.2 "Impact of Network Latency" and the
+conclusion's networks-of-workstations argument).
+
+Run:  python examples/network_latency_sweep.py
+"""
+
+from repro import format_table
+from repro.harness.configs import LARGE_CACHE, paper_config, workload_args
+from repro.system import Machine
+from repro.workloads import by_name
+
+LATENCIES = (50, 100, 250, 500, 1000, 2000)
+
+
+def main(workload="sparse", n_procs=8):
+    program = by_name(workload, **workload_args(workload, quick=True, n_procs=n_procs))
+    rows = []
+    for latency in LATENCIES:
+        base = Machine(
+            paper_config("SC", cache=LARGE_CACHE, latency=latency, n_procs=n_procs), program
+        ).run()
+        weak = Machine(
+            paper_config("W", cache=LARGE_CACHE, latency=latency, n_procs=n_procs), program
+        ).run()
+        dsi = Machine(
+            paper_config("V", cache=LARGE_CACHE, latency=latency, n_procs=n_procs), program
+        ).run()
+        rows.append(
+            [
+                latency,
+                f"{weak.exec_time / base.exec_time:.3f}",
+                f"{dsi.exec_time / base.exec_time:.3f}",
+                f"{(1 - dsi.exec_time / base.exec_time) * 100:.0f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["net latency", "W / SC", "DSI-V / SC", "DSI saving"],
+            rows,
+            title=f"{workload}: protocol benefit vs network latency ({n_procs} processors)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

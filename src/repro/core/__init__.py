@@ -1,0 +1,37 @@
+"""Dynamic self-invalidation — the paper's contribution.
+
+This package holds the pieces the paper adds on top of a conventional
+full-map write-invalidate protocol:
+
+* :mod:`repro.core.identify` — how the **directory** decides, while
+  servicing a miss, whether the response should be marked for
+  self-invalidation: the additional-states scheme and the version-number
+  scheme of §4.1 (plus the no-op policy for the base protocol).
+* :mod:`repro.core.mechanisms` — how the **cache controller** later
+  performs the self-invalidation: selective flush at synchronization
+  operations, or a finite FIFO buffer (§4.2).
+* :mod:`repro.core.tearoff` — tear-off block accounting (§3.3): untracked
+  copies that eliminate acknowledgment messages under weak consistency.
+"""
+
+from repro.core.identify import (
+    IdentifyDecision,
+    NoIdentify,
+    StatesIdentify,
+    VersionIdentify,
+    make_policy,
+)
+from repro.core.mechanisms import FifoMechanism, SyncFlushMechanism, make_mechanism
+from repro.core.tearoff import TearoffTracker
+
+__all__ = [
+    "FifoMechanism",
+    "IdentifyDecision",
+    "NoIdentify",
+    "StatesIdentify",
+    "SyncFlushMechanism",
+    "TearoffTracker",
+    "VersionIdentify",
+    "make_policy",
+    "make_mechanism",
+]

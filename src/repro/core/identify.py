@@ -1,0 +1,215 @@
+"""Directory-side identification of blocks for self-invalidation (§4.1).
+
+Both schemes speculate from sharing history: a block that has recently had
+conflicting accesses — and hence would have needed explicit invalidations
+— is a candidate for self-invalidation.  Shared-readable blocks are marked
+if they have been modified since the requesting processor's last
+reference; exclusive blocks are marked if a different processor has read
+or written the block since the writer's last access.
+
+The two special cases of §4.1 (never self-invalidate out of the home
+node's own cache; under SC don't mark exclusive blocks obtained by a sole
+sharer's upgrade) are applied uniformly in
+:class:`~repro.directory.controller.DirectoryController`, not here, since
+they are scheme-independent.
+"""
+
+from repro.config import IdentifyScheme
+from repro.directory.state import (
+    DIR_EXCLUSIVE,
+    DIR_IDLE,
+    DIR_SHARED,
+    FLAVOR_S,
+    FLAVOR_SI,
+    FLAVOR_X,
+)
+from repro.errors import ConfigError
+
+
+class IdentifyDecision:
+    """Outcome of classifying one request."""
+
+    __slots__ = ("si",)
+
+    def __init__(self, si):
+        self.si = si
+
+    def __repr__(self):
+        return f"IdentifyDecision(si={self.si})"
+
+
+class NoIdentify:
+    """Base protocol: nothing is ever marked for self-invalidation."""
+
+    name = "none"
+
+    def classify_read(self, entry, requester, req_version):
+        return IdentifyDecision(False)
+
+    def classify_write(self, entry, requester, req_version):
+        return IdentifyDecision(False)
+
+    def on_shared_grant(self, entry, requester, tearoff):
+        pass
+
+    def on_exclusive_grant(self, entry, requester):
+        pass
+
+
+class StatesIdentify:
+    """The additional-states scheme.
+
+    Four extra directory states (encoded as flavors on
+    :class:`~repro.directory.state.DirEntry`):
+
+    * reads obtain a self-invalidate block when the current state is
+      Exclusive, Idle_X, Shared_SI or Idle_SI;
+    * writes obtain one when the current state is Shared, Shared_SI,
+      Exclusive, Idle_S, Idle_SI, or Idle_X where a *different* processor
+      had the block exclusive;
+    * handing out a self-invalidate shared block enters Shared_SI so all
+      subsequent readers also receive self-invalidate blocks.
+
+    All processors make the same decision — the entry state is global —
+    which is the scheme's weakness relative to version numbers.
+    """
+
+    name = "states"
+
+    def classify_read(self, entry, requester, req_version):
+        state = entry.state
+        if state == DIR_EXCLUSIVE and entry.owner != requester:
+            return IdentifyDecision(True)
+        if state == DIR_SHARED and entry.shared_si:
+            return IdentifyDecision(True)
+        if state == DIR_IDLE and entry.idle_flavor in (FLAVOR_X, FLAVOR_SI):
+            return IdentifyDecision(True)
+        return IdentifyDecision(False)
+
+    def classify_write(self, entry, requester, req_version):
+        state = entry.state
+        if state == DIR_SHARED:  # plain Shared or Shared_SI
+            return IdentifyDecision(True)
+        if state == DIR_EXCLUSIVE and entry.owner != requester:
+            return IdentifyDecision(True)
+        if state == DIR_IDLE:
+            if entry.idle_flavor in (FLAVOR_S, FLAVOR_SI):
+                return IdentifyDecision(True)
+            if entry.idle_flavor == FLAVOR_X and entry.last_writer != requester:
+                return IdentifyDecision(True)
+            if entry.tearoff.multi:
+                # The §4.1 extra bit: more than one tear-off copy is out,
+                # so the full map under-reports the sharing.
+                return IdentifyDecision(True)
+        return IdentifyDecision(False)
+
+    def on_shared_grant(self, entry, requester, tearoff):
+        if tearoff:
+            entry.tearoff.on_grant()
+
+    def on_exclusive_grant(self, entry, requester):
+        entry.last_writer = requester
+        entry.tearoff.on_exclusive_grant()
+
+
+class VersionIdentify:
+    """The version-number scheme.
+
+    The directory keeps a small wrap-around version per block, incremented
+    on every exclusive grant.  Caches retain the version with the tag even
+    after invalidation and present it with the next miss; a mismatch means
+    the block was modified since this processor's last reference, so the
+    response is marked for self-invalidation.  A request without a version
+    (no tag match — the block left the cache by capacity, not coherence)
+    gets a normal block.  Processors therefore decide *independently*,
+    unlike the states scheme.
+
+    Exclusive identification additionally uses a small shift counter of
+    shared grants for the current version: a write request obtains a
+    self-invalidate exclusive block if the versions differ *or* the current
+    version has been read by at least ``read_counter_bits`` processors
+    (which may include the writer itself).
+    """
+
+    name = "version"
+
+    def __init__(self, version_mask, read_counter_mask):
+        if version_mask < 1:
+            raise ConfigError("version mask must be non-trivial")
+        self.version_mask = version_mask
+        self.read_counter_mask = read_counter_mask
+
+    def classify_read(self, entry, requester, req_version):
+        si = req_version is not None and req_version != entry.version
+        return IdentifyDecision(si)
+
+    def classify_write(self, entry, requester, req_version):
+        if req_version is not None and req_version != entry.version:
+            return IdentifyDecision(True)
+        if entry.read_ctr == self.read_counter_mask:
+            return IdentifyDecision(True)
+        return IdentifyDecision(False)
+
+    def on_shared_grant(self, entry, requester, tearoff):
+        entry.read_ctr = ((entry.read_ctr << 1) | 1) & self.read_counter_mask
+        if tearoff:
+            entry.tearoff.on_grant()
+
+    def on_exclusive_grant(self, entry, requester):
+        entry.version = (entry.version + 1) & self.version_mask
+        entry.read_ctr = 0
+        entry.last_writer = requester
+        entry.tearoff.on_exclusive_grant()
+
+
+class InvalidationHistory:
+    """Cache-side identification (§3.1).
+
+    A bounded table of per-block explicit-invalidation counts kept by the
+    cache controller ("maintaining information for recently invalidated
+    blocks, e.g. the number of times a block is invalidated").  Once a
+    block has been invalidated under this cache ``threshold`` times, the
+    controller marks its future fills for self-invalidation on its own —
+    no directory support needed.  The table evicts its least recently
+    updated entry when full.
+    """
+
+    def __init__(self, capacity, threshold):
+        if capacity < 1 or threshold < 1:
+            raise ConfigError("history capacity and threshold must be >= 1")
+        self.capacity = capacity
+        self.threshold = threshold
+        self._counts = {}  # insertion-ordered: oldest first
+
+    def record(self, block):
+        """An explicit invalidation of ``block`` arrived."""
+        count = self._counts.pop(block, 0) + 1
+        self._counts[block] = count
+        if len(self._counts) > self.capacity:
+            oldest = next(iter(self._counts))
+            del self._counts[oldest]
+
+    def should_mark(self, block):
+        return self._counts.get(block, 0) >= self.threshold
+
+    def count(self, block):
+        return self._counts.get(block, 0)
+
+    def __len__(self):
+        return len(self._counts)
+
+
+def make_policy(config):
+    """Instantiate the *directory-side* identification policy.
+
+    The CACHE scheme needs no directory cooperation, so its directory
+    policy is the no-op; the marking lives in the cache controller's
+    :class:`InvalidationHistory`.
+    """
+    if config.identify in (IdentifyScheme.NONE, IdentifyScheme.CACHE):
+        return NoIdentify()
+    if config.identify is IdentifyScheme.STATES:
+        return StatesIdentify()
+    if config.identify is IdentifyScheme.VERSION:
+        return VersionIdentify(config.version_mask, config.read_counter_mask)
+    raise ConfigError(f"unknown identification scheme {config.identify!r}")

@@ -1,0 +1,92 @@
+"""Cache-side self-invalidation mechanisms (§4.2).
+
+The directory marks a response; the cache controller must *record* which
+resident blocks carry the ``s`` bit and invalidate them at a good time.
+
+:class:`SyncFlushMechanism`
+    The custom-hardware scheme: a linked list threads every s-marked frame
+    (modelled by the cache's ``si_frames`` set); at each synchronization
+    operation the list is walked and every marked block is invalidated.
+    Utilises the full capacity of the cache.
+
+:class:`FifoMechanism`
+    A small FIFO (64 entries by default) records the identity of blocks
+    received with the ``s`` bit.  When the FIFO overflows, the oldest
+    entry is self-invalidated immediately — potentially long before the
+    next synchronization point, which is the mechanism's fundamental
+    weakness (Figure 5: Sparse).  The FIFO is also flushed at every
+    synchronization operation.
+"""
+
+from collections import deque
+
+from repro.config import SIMechanism
+from repro.errors import ConfigError
+
+
+class SyncFlushMechanism:
+    """Selective flush at synchronization operations via a hardware list."""
+
+    name = "sync-flush"
+
+    def __init__(self, cache):
+        self.cache = cache
+
+    def on_si_fill(self, frame):
+        """A self-invalidate block arrived.  Returns a frame to invalidate
+        immediately, or None (this mechanism never invalidates early)."""
+        return None
+
+    def sync_frames(self):
+        """Frames to self-invalidate at a synchronization point."""
+        return list(self.cache.si_frames)
+
+
+class FifoMechanism:
+    """Finite FIFO of self-invalidate block identities."""
+
+    name = "fifo"
+
+    def __init__(self, cache, capacity):
+        if capacity < 1:
+            raise ConfigError("FIFO capacity must be >= 1")
+        self.cache = cache
+        self.capacity = capacity
+        self.fifo = deque()
+        self.overflows = 0
+
+    def on_si_fill(self, frame):
+        """Record the new block; on overflow return the evicted frame (to be
+        self-invalidated *now*) if it is still resident and still marked."""
+        self.fifo.append(frame.tag)
+        if len(self.fifo) <= self.capacity:
+            return None
+        victim_block = self.fifo.popleft()
+        self.overflows += 1
+        victim = self.cache.lookup(victim_block, touch=False)
+        if victim is not None and victim.s_bit:
+            return victim
+        return None  # stale entry: the block already left the cache
+
+    def sync_frames(self):
+        """Flush the FIFO at a synchronization point."""
+        frames = []
+        while self.fifo:
+            block = self.fifo.popleft()
+            frame = self.cache.lookup(block, touch=False)
+            if frame is not None and frame.s_bit:
+                frames.append(frame)
+        # Defensive sweep: any marked frame missed by stale FIFO entries.
+        for frame in list(self.cache.si_frames):
+            if frame not in frames:
+                frames.append(frame)
+        return frames
+
+
+def make_mechanism(config, cache):
+    """Instantiate the self-invalidation mechanism selected by ``config``."""
+    if config.si_mechanism is SIMechanism.SYNC_FLUSH:
+        return SyncFlushMechanism(cache)
+    if config.si_mechanism is SIMechanism.FIFO:
+        return FifoMechanism(cache, config.fifo_entries)
+    raise ConfigError(f"unknown self-invalidation mechanism {config.si_mechanism!r}")

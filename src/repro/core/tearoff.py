@@ -1,0 +1,43 @@
+"""Tear-off block accounting (paper §3.3).
+
+A tear-off block is a shared-readable copy the directory hands out
+*without recording the requester in the full map*.  Because the receiving
+cache guarantees to self-invalidate the copy at its next synchronization
+point (under weak consistency), the directory never needs to invalidate it
+— eliminating both the invalidation and the acknowledgment message.
+
+The directory keeps one extra bit per entry ("more than one outstanding
+tear-off block", §4.1).  The additional-states identification scheme uses
+that bit to classify a write request from a processor that itself held a
+tear-off copy: with at least two tear-off copies outstanding the new
+exclusive block is a self-invalidation candidate even though the full map
+looks quiet.
+"""
+
+
+class TearoffTracker:
+    """Per-directory-entry tear-off bookkeeping.
+
+    ``multi`` is the hardware bit (>= 2 tear-off copies handed out since
+    the last exclusive grant); ``count`` is kept for statistics only — real
+    hardware stores just the bit.
+    """
+
+    __slots__ = ("count", "multi")
+
+    def __init__(self):
+        self.count = 0
+        self.multi = False
+
+    def on_grant(self):
+        """A tear-off copy was handed out."""
+        self.count += 1
+        if self.count >= 2:
+            self.multi = True
+
+    def on_exclusive_grant(self):
+        """An exclusive copy was granted; outstanding tear-offs will be
+        flushed by their holders' next synchronization point, so the history
+        resets."""
+        self.count = 0
+        self.multi = False

@@ -1,0 +1,25 @@
+"""Full-map directory: entry state and the directory controller."""
+
+from repro.directory.state import (
+    DIR_EXCLUSIVE,
+    DIR_IDLE,
+    DIR_SHARED,
+    FLAVOR_PLAIN,
+    FLAVOR_S,
+    FLAVOR_SI,
+    FLAVOR_X,
+    DirEntry,
+)
+from repro.directory.controller import DirectoryController
+
+__all__ = [
+    "DIR_EXCLUSIVE",
+    "DIR_IDLE",
+    "DIR_SHARED",
+    "DirEntry",
+    "DirectoryController",
+    "FLAVOR_PLAIN",
+    "FLAVOR_S",
+    "FLAVOR_SI",
+    "FLAVOR_X",
+]

@@ -1,0 +1,440 @@
+"""The full-map directory controller.
+
+One controller per node; it owns the directory entries of the blocks whose
+home is that node.  Every incoming message occupies the controller for
+``dir_ctrl_cycles`` (10) cycles — this occupancy, together with the FIFO
+queueing in front of it, is the directory contention the paper models.
+
+Protocol summary
+----------------
+* **GETS** — Idle/Shared: respond immediately.  Exclusive: invalidate the
+  owner, collect the data, then respond (both SC and WC: the data must
+  come from the owner).
+* **GETX/UPGRADE** — Idle: respond immediately.  Shared: under SC,
+  invalidate every sharer, collect all acks, then respond; under WC, grant
+  immediately (in parallel with the invalidations) and forward a single
+  ACK_DONE to the new owner once all acks arrive.  Exclusive: invalidate
+  the owner first (data needed).
+* While a transaction is collecting acknowledgments the entry is *busy*
+  and later requests for the block are deferred in arrival order.
+* Replacement notifications (WB/REPL) and self-invalidation notifications
+  (SI_NOTIFY) may race with invalidations.  They are *applied* on arrival
+  (owner/sharers dropped, data captured) but never consumed as
+  acknowledgment substitutes: a cache acknowledges every INV it receives
+  — with INV_ACK even when the copy is already gone — so acknowledgments
+  pair one-to-one with invalidations, arrive in INV order on each
+  node-pair FIFO, and can never alias across the block's serialized
+  transactions.  (Consuming a crossing notification as an ack would let a
+  *stale* INV_ACK, still in flight from the previous transaction,
+  complete the next transaction early — without the new owner's data.)
+
+DSI hooks
+---------
+The response to every miss is classified by the configured identification
+policy (:mod:`repro.core.identify`).  The two §4.1 special cases are
+applied here: requests from the home node itself are never marked, and —
+under SC — an upgrade by the sole sharer is not marked.  When tear-off
+mode is on (WC), marked *shared* responses become tear-off blocks: the
+requester is not recorded in the full map.
+"""
+
+from repro.config import Consistency, IdentifyScheme
+from repro.directory.state import (
+    DIR_EXCLUSIVE,
+    DIR_IDLE,
+    DIR_SHARED,
+    FLAVOR_PLAIN,
+    FLAVOR_S,
+    FLAVOR_SI,
+    FLAVOR_X,
+)
+from repro.directory.state import DirEntry
+from repro.engine.resource import Resource
+from repro.errors import ProtocolError
+from repro.network.message import Message, MsgKind
+
+
+class Transaction:
+    """An in-flight invalidation/collection for one block."""
+
+    __slots__ = (
+        "kind",
+        "msg",
+        "decision",
+        "upgrade_grant",
+        "pending_inv",
+        "inv_sent_at",
+        "wc_parallel",
+        "waiting_wb",
+        "migratory_read",
+    )
+
+    def __init__(self, kind, msg, decision, upgrade_grant=False):
+        self.kind = kind  # "read" | "write"
+        self.msg = msg
+        self.decision = decision
+        self.upgrade_grant = upgrade_grant
+        self.pending_inv = set()
+        self.inv_sent_at = 0
+        self.wc_parallel = False
+        self.waiting_wb = False
+        self.migratory_read = False  # a read served with an exclusive copy
+
+
+class DirectoryController:
+    """Directory controller for one home node."""
+
+    def __init__(self, sim, config, node, network, policy):
+        self.sim = sim
+        self.config = config
+        self.node = node
+        self.network = network
+        self.policy = policy
+        self.resource = Resource(sim, name=f"dir{node}")
+        self.entries = {}
+        self.stale_messages = 0
+        self._wc = config.consistency is Consistency.WC
+        self._states_scheme = config.identify is IdentifyScheme.STATES
+
+    # ------------------------------------------------------------------
+    # Entry management
+    # ------------------------------------------------------------------
+    def entry_for(self, block):
+        entry = self.entries.get(block)
+        if entry is None:
+            entry = DirEntry()
+            self.entries[block] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Message intake
+    # ------------------------------------------------------------------
+    def receive(self, msg):
+        """Entry point from the network: queue behind the controller."""
+        self.resource.submit(self.config.dir_ctrl_cycles, self._process, msg)
+
+    def _process(self, msg):
+        if msg.kind in (MsgKind.GETS, MsgKind.GETX, MsgKind.UPGRADE):
+            entry = self.entry_for(msg.block)
+            if entry.busy:
+                entry.deferred.append(msg)
+            else:
+                self._start(entry, msg)
+        else:
+            self._notification(msg)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def _start(self, entry, msg):
+        if msg.kind is MsgKind.GETS:
+            self._start_read(entry, msg)
+        else:
+            self._start_write(entry, msg)
+
+    def _classify_read(self, entry, msg):
+        decision = self.policy.classify_read(entry, msg.src, msg.version)
+        if self.config.home_exclusion and msg.src == self.node:
+            decision.si = False
+        return decision
+
+    def _classify_write(self, entry, msg, upgrade_grant):
+        decision = self.policy.classify_write(entry, msg.src, msg.version)
+        if self.config.home_exclusion and msg.src == self.node:
+            decision.si = False
+        if (
+            decision.si
+            and not self._wc
+            and self.config.sc_upgrade_special_case
+            and upgrade_grant
+            and entry.sharer_count() == 1
+        ):
+            # §4.1: an upgrade by the sole sharer would needlessly
+            # self-invalidate the exclusive copy under SC.
+            decision.si = False
+        return decision
+
+    def _start_read(self, entry, msg):
+        decision = self._classify_read(entry, msg)
+        if self.config.migratory and entry.migratory:
+            if entry.state == DIR_SHARED:
+                # Multiple readers: the migration pattern broke.
+                entry.migratory = False
+            else:
+                self._start_migratory_read(entry, msg, decision)
+                return
+        if entry.state == DIR_EXCLUSIVE:
+            txn = Transaction("read", msg, decision)
+            entry.busy = True
+            entry.txn = txn
+            if entry.owner == msg.src:
+                # Late-writeback race: the owner's WB is in flight.
+                txn.waiting_wb = True
+                return
+            txn.pending_inv.add(entry.owner)
+            txn.inv_sent_at = self.sim.now
+            self._send_inv(msg.block, entry.owner)
+            return
+        self._grant_read(entry, msg, decision, inval_wait=0)
+
+    def _start_migratory_read(self, entry, msg, decision):
+        """Serve a read of a detected-migratory block with an *exclusive*
+        copy, eliminating the upgrade the reader would otherwise issue
+        (Cox & Fowler / Stenström et al.; cited as complementary in §2)."""
+        txn = Transaction("write", msg, decision)
+        txn.migratory_read = True
+        if entry.state == DIR_EXCLUSIVE:
+            entry.busy = True
+            entry.txn = txn
+            if entry.owner == msg.src:
+                txn.waiting_wb = True
+                return
+            txn.pending_inv.add(entry.owner)
+            txn.inv_sent_at = self.sim.now
+            self._send_inv(msg.block, entry.owner)
+            return
+        # Idle (any flavor): grant directly.
+        self._grant_write(entry, msg, decision, upgrade_grant=False, inval_wait=0)
+
+    def _start_write(self, entry, msg):
+        requester = msg.src
+        upgrade_grant = (
+            msg.kind is MsgKind.UPGRADE
+            and entry.state == DIR_SHARED
+            and entry.has_sharer(requester)
+        )
+        if (
+            self.config.migratory
+            and not entry.migratory
+            and upgrade_grant
+            and entry.sharer_count() == 1
+            and entry.last_writer not in (None, requester)
+        ):
+            # The Cox-Fowler signature: the sole reader of a block last
+            # written by someone else now writes it — migration detected.
+            entry.migratory = True
+        decision = self._classify_write(entry, msg, upgrade_grant)
+        if entry.state == DIR_EXCLUSIVE:
+            txn = Transaction("write", msg, decision)
+            entry.busy = True
+            entry.txn = txn
+            if entry.owner == requester:
+                txn.waiting_wb = True
+                return
+            txn.pending_inv.add(entry.owner)
+            txn.inv_sent_at = self.sim.now
+            self._send_inv(msg.block, entry.owner)
+            return
+        if entry.state == DIR_SHARED:
+            targets = [n for n in entry.sharer_list() if n != requester]
+            if not targets:
+                self._grant_write(entry, msg, decision, upgrade_grant, inval_wait=0)
+                return
+            txn = Transaction("write", msg, decision, upgrade_grant)
+            txn.pending_inv.update(targets)
+            entry.busy = True
+            entry.txn = txn
+            txn.inv_sent_at = self.sim.now
+            if self._wc:
+                # Parallel grant: respond now, forward one ACK_DONE later.
+                txn.wc_parallel = True
+                self._grant_write(
+                    entry, msg, decision, upgrade_grant, inval_wait=0, acks_pending=True
+                )
+            for target in targets:
+                self._send_inv(msg.block, target)
+            return
+        # Idle
+        self._grant_write(entry, msg, decision, upgrade_grant=False, inval_wait=0)
+
+    # ------------------------------------------------------------------
+    # Grants
+    # ------------------------------------------------------------------
+    def _grant_read(self, entry, msg, decision, inval_wait):
+        requester = msg.src
+        tearoff = bool(decision.si and (self.config.tearoff or self.config.sc_tearoff))
+        self.policy.on_shared_grant(entry, requester, tearoff)
+        if tearoff:
+            if entry.state == DIR_EXCLUSIVE and entry.owner is None:
+                # The previous owner was just invalidated and the only copy
+                # handed out is untracked: the entry is idle.  Idle_X keeps
+                # the additional-states scheme marking subsequent requests.
+                entry.state = DIR_IDLE
+                entry.idle_flavor = FLAVOR_X
+        else:
+            entry.add_sharer(requester)
+            if entry.state != DIR_SHARED:
+                entry.state = DIR_SHARED
+                entry.idle_flavor = FLAVOR_PLAIN
+                entry.shared_si = False
+            if decision.si and self._states_scheme:
+                entry.shared_si = True  # enter Shared_SI
+        self.network.send(
+            Message(
+                MsgKind.DATA,
+                msg.block,
+                src=self.node,
+                dst=requester,
+                version=entry.version,
+                si=decision.si,
+                tearoff=tearoff,
+                inval_wait=inval_wait,
+                data=entry.data,
+                carries_data=True,
+            )
+        )
+
+    def _grant_write(self, entry, msg, decision, upgrade_grant, inval_wait, acks_pending=False):
+        requester = msg.src
+        self.policy.on_exclusive_grant(entry, requester)
+        entry.state = DIR_EXCLUSIVE
+        entry.owner = requester
+        entry.sharers = 0
+        entry.shared_si = False
+        entry.idle_flavor = FLAVOR_PLAIN
+        entry.last_writer = requester
+        kind = MsgKind.UPGRADE_ACK if upgrade_grant else MsgKind.DATA_EX
+        self.network.send(
+            Message(
+                kind,
+                msg.block,
+                src=self.node,
+                dst=requester,
+                version=entry.version,
+                si=decision.si,
+                inval_wait=inval_wait,
+                data=entry.data,
+                acks_pending=acks_pending,
+                carries_data=kind is MsgKind.DATA_EX,
+            )
+        )
+
+    def _send_inv(self, block, target):
+        self.network.send(Message(MsgKind.INV, block, src=self.node, dst=target))
+
+    # ------------------------------------------------------------------
+    # Notifications and acknowledgments
+    # ------------------------------------------------------------------
+    def _notification(self, msg):
+        entry = self.entry_for(msg.block)
+        txn = entry.txn
+        if entry.busy and txn is not None:
+            src = msg.src
+            if txn.waiting_wb and src == entry.owner and msg.kind in (
+                MsgKind.WB,
+                MsgKind.SI_NOTIFY,
+                MsgKind.REPL,
+            ):
+                self._apply_notification(entry, msg)
+                request = txn.msg
+                entry.busy = False
+                entry.txn = None
+                self._start(entry, request)
+                self._drain_deferred(entry)
+                return
+            if src in txn.pending_inv and msg.kind in (
+                MsgKind.INV_ACK,
+                MsgKind.INV_ACK_DATA,
+            ):
+                txn.pending_inv.discard(src)
+                if msg.carries_data:
+                    entry.data = msg.data
+                elif txn.migratory_read and entry.owner == src:
+                    # The previous "migratory" owner never wrote its
+                    # exclusive copy: the prediction was wrong.
+                    entry.migratory = False
+                if entry.owner == src:
+                    entry.owner = None
+                entry.remove_sharer(src)
+                if not txn.pending_inv:
+                    self._complete(entry)
+                return
+            if msg.kind in (MsgKind.INV_ACK, MsgKind.INV_ACK_DATA):
+                # An acknowledgment from a node this transaction is not
+                # waiting on cannot occur (acks pair 1:1 with INVs and the
+                # block's transactions serialize).
+                raise ProtocolError(
+                    f"unexpected acknowledgment from node {src} for block "
+                    f"{msg.block} (transaction pending on {sorted(txn.pending_inv)})"
+                )
+            # A racing notification (replacement or self-invalidation):
+            # apply it, but keep waiting for the actual acknowledgments.
+            self._apply_notification(entry, msg)
+            return
+        if msg.kind in (MsgKind.INV_ACK, MsgKind.INV_ACK_DATA):
+            # Acks pair 1:1 with INVs, so one can never outlive its
+            # transaction.
+            raise ProtocolError(
+                f"acknowledgment for block {msg.block} from node {msg.src} "
+                "with no transaction in flight"
+            )
+        self._apply_notification(entry, msg)
+
+    def _apply_notification(self, entry, msg):
+        src = msg.src
+        if msg.carries_data:  # WB or dirty SI_NOTIFY: an exclusive copy returns
+            if entry.owner != src:
+                self.stale_messages += 1
+                return
+            entry.data = msg.data
+            entry.owner = None
+            entry.state = DIR_IDLE
+            if msg.kind is MsgKind.SI_NOTIFY:
+                entry.idle_flavor = FLAVOR_X
+            else:
+                entry.idle_flavor = FLAVOR_SI if msg.si_marked else FLAVOR_PLAIN
+            return
+        # Clean shared copy leaving the cache.
+        if entry.owner == src:
+            # Defensive: a clean notification from the exclusive owner
+            # (the protocol writes on every exclusive grant, so this should
+            # not occur, but dropping the owner keeps the entry consistent).
+            entry.owner = None
+            entry.state = DIR_IDLE
+            entry.idle_flavor = (
+                FLAVOR_X if msg.kind is MsgKind.SI_NOTIFY
+                else (FLAVOR_SI if msg.si_marked else FLAVOR_PLAIN)
+            )
+            return
+        if not entry.has_sharer(src):
+            self.stale_messages += 1
+            return
+        entry.remove_sharer(src)
+        if entry.sharers == 0 and entry.state == DIR_SHARED:
+            entry.state = DIR_IDLE
+            entry.shared_si = False
+            if msg.kind is MsgKind.SI_NOTIFY:
+                entry.idle_flavor = FLAVOR_S
+            else:
+                entry.idle_flavor = FLAVOR_SI if msg.si_marked else FLAVOR_PLAIN
+
+    def _complete(self, entry):
+        txn = entry.txn
+        inval_wait = self.sim.now - txn.inv_sent_at
+        entry.busy = False
+        entry.txn = None
+        if txn.wc_parallel:
+            self.network.send(
+                Message(
+                    MsgKind.ACK_DONE,
+                    txn.msg.block,
+                    src=self.node,
+                    dst=txn.msg.src,
+                )
+            )
+        elif txn.kind == "read":
+            self._grant_read(entry, txn.msg, txn.decision, inval_wait)
+        else:
+            self._grant_write(entry, txn.msg, txn.decision, txn.upgrade_grant, inval_wait)
+        self._drain_deferred(entry)
+
+    def _drain_deferred(self, entry):
+        while entry.deferred and not entry.busy:
+            self._start(entry, entry.deferred.popleft())
+
+    # ------------------------------------------------------------------
+    def deadlock_diagnostic(self):
+        busy = [block for block, entry in self.entries.items() if entry.busy]
+        if busy:
+            return f"dir{self.node}: busy entries for blocks {busy[:8]}"
+        return None

@@ -1,0 +1,50 @@
+"""A deterministic binary-heap event queue.
+
+Events are ``(time, sequence, callback, args)`` tuples.  The sequence number
+breaks ties so that two events scheduled for the same cycle fire in the order
+they were scheduled, which keeps simulations bit-for-bit reproducible.
+"""
+
+from heapq import heappop, heappush
+
+from repro.errors import SimulationError
+
+
+class EventQueue:
+    """A time-ordered queue of callbacks.
+
+    This is the only data structure on the simulator's hot path, so it is a
+    thin wrapper around :mod:`heapq` rather than anything fancier.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+
+    def __len__(self):
+        return len(self._heap)
+
+    def __bool__(self):
+        return bool(self._heap)
+
+    def push(self, time, callback, args=()):
+        """Schedule ``callback(*args)`` to fire at absolute ``time``."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        self._seq += 1
+        heappush(self._heap, (time, self._seq, callback, args))
+
+    def pop(self):
+        """Remove and return the earliest ``(time, callback, args)``."""
+        time, _seq, callback, args = heappop(self._heap)
+        return time, callback, args
+
+    def peek_time(self):
+        """Return the timestamp of the earliest event without removing it."""
+        return self._heap[0][0]
+
+    def clear(self):
+        """Drop every pending event."""
+        self._heap.clear()

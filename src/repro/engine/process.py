@@ -1,0 +1,119 @@
+"""Generator-based processes on top of the event queue.
+
+Processes are a convenience layer used by tests, examples and simple
+workload scripts.  The performance-critical components (processors, cache
+controllers, directories) are written as explicit callback state machines
+instead; both styles coexist on the same :class:`~repro.engine.simulator
+.Simulator`.
+
+A process is a generator that yields:
+
+* :class:`Timeout` — resume after N cycles.
+* :class:`Waiter`  — resume when someone calls :meth:`Waiter.trigger`.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def proc():
+...     yield Timeout(5)
+...     log.append(("woke", ))
+>>> Process(sim, proc())
+>>> _ = sim.run()
+>>> log
+[('woke',)]
+"""
+
+from repro.engine.simulator import Simulator  # noqa: F401  (doctest import)
+from repro.errors import SimulationError
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` cycles."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay):
+        self.delay = delay
+
+
+class Waiter:
+    """A one-shot event a process can yield on; resumed via :meth:`trigger`.
+
+    The value passed to :meth:`trigger` becomes the result of the ``yield``
+    expression inside the process.
+    """
+
+    __slots__ = ("_process", "_fired", "_value")
+
+    def __init__(self):
+        self._process = None
+        self._fired = False
+        self._value = None
+
+    @property
+    def fired(self):
+        return self._fired
+
+    def trigger(self, value=None):
+        """Resume the waiting process (immediately, at the current time)."""
+        if self._fired:
+            raise SimulationError("Waiter triggered twice")
+        self._fired = True
+        self._value = value
+        if self._process is not None:
+            process = self._process
+            self._process = None
+            process._resume(value)
+
+    def _attach(self, process):
+        if self._process is not None:
+            raise SimulationError("Waiter already has a waiting process")
+        self._process = process
+
+
+class Process:
+    """Drives a generator as a simulation process.
+
+    The generator starts at the current simulation time (its first segment
+    runs via a zero-delay event so construction order does not matter).
+    """
+
+    __slots__ = ("sim", "_gen", "done", "result", "_done_waiters")
+
+    def __init__(self, sim, generator):
+        self.sim = sim
+        self._gen = generator
+        self.done = False
+        self.result = None
+        self._done_waiters = []
+        sim.schedule(0, self._resume, None)
+
+    def join(self):
+        """Return a :class:`Waiter` triggered when this process finishes."""
+        waiter = Waiter()
+        if self.done:
+            waiter.trigger(self.result)
+        else:
+            self._done_waiters.append(waiter)
+        return waiter
+
+    def _resume(self, value):
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            for waiter in self._done_waiters:
+                waiter.trigger(self.result)
+            self._done_waiters.clear()
+            return
+        if isinstance(yielded, Timeout):
+            self.sim.schedule(yielded.delay, self._resume, None)
+        elif isinstance(yielded, Waiter):
+            if yielded.fired:
+                self.sim.schedule(0, self._resume, yielded._value)
+            else:
+                yielded._attach(self)
+        else:
+            raise SimulationError(f"process yielded unsupported value {yielded!r}")

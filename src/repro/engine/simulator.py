@@ -1,0 +1,109 @@
+"""The simulator: a clock plus an event queue.
+
+Components interact with the simulator exclusively through
+:meth:`Simulator.schedule` (relative delay) and :meth:`Simulator.at`
+(absolute time).  The simulator itself knows nothing about caches or
+networks; it only fires callbacks in timestamp order.
+"""
+
+from repro.engine.event_queue import EventQueue
+from repro.errors import DeadlockError, SimulationError
+
+
+class Simulator:
+    """Owns the simulated clock and drives the event loop.
+
+    Parameters
+    ----------
+    max_events:
+        Safety valve: abort if more than this many events fire in one call
+        to :meth:`run` (guards against protocol livelock in tests).
+    """
+
+    __slots__ = ("now", "queue", "max_events", "events_fired", "_running", "_deadlock_hooks")
+
+    def __init__(self, max_events=None):
+        self.now = 0
+        self.queue = EventQueue()
+        self.max_events = max_events
+        self.events_fired = 0
+        self._running = False
+        self._deadlock_hooks = []
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay, callback, *args):
+        """Fire ``callback(*args)`` after ``delay`` cycles."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.queue.push(self.now + delay, callback, args)
+
+    def at(self, time, callback, *args):
+        """Fire ``callback(*args)`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past ({time} < {self.now})")
+        self.queue.push(time, callback, args)
+
+    def add_deadlock_hook(self, hook):
+        """Register ``hook() -> str | None`` consulted when the queue drains.
+
+        If any hook returns a non-empty string, the simulation is considered
+        deadlocked and :class:`~repro.errors.DeadlockError` is raised with
+        the concatenated diagnostics.
+        """
+        self._deadlock_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self):
+        """Fire the single earliest event.  Returns False if none remain."""
+        if not self.queue:
+            return False
+        time, callback, args = self.queue.pop()
+        self.now = time
+        self.events_fired += 1
+        callback(*args)
+        return True
+
+    def run(self, until=None):
+        """Run until the queue drains (or past ``until`` cycles).
+
+        Returns the final simulated time.  Raises
+        :class:`~repro.errors.DeadlockError` if the queue drains while a
+        registered deadlock hook reports outstanding work.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        fired_at_entry = self.events_fired
+        queue = self.queue
+        try:
+            while queue:
+                if until is not None and queue.peek_time() > until:
+                    self.now = until
+                    break
+                time, callback, args = queue.pop()
+                self.now = time
+                self.events_fired += 1
+                callback(*args)
+                if (
+                    self.max_events is not None
+                    and self.events_fired - fired_at_entry > self.max_events
+                ):
+                    raise SimulationError(
+                        f"exceeded max_events={self.max_events}; likely livelock"
+                    )
+            else:
+                self._check_deadlock()
+        finally:
+            self._running = False
+        return self.now
+
+    def _check_deadlock(self):
+        diagnostics = [msg for hook in self._deadlock_hooks for msg in [hook()] if msg]
+        if diagnostics:
+            raise DeadlockError(
+                "event queue drained with outstanding work:\n  " + "\n  ".join(diagnostics)
+            )

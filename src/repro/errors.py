@@ -1,0 +1,25 @@
+"""Exception hierarchy for the DSI reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """An internal inconsistency was detected while simulating."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while some component was still waiting."""
+
+
+class ProtocolError(SimulationError):
+    """A coherence-protocol invariant was violated."""
+
+
+class ConfigError(ReproError):
+    """A SystemConfig or experiment configuration is invalid."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed or refers to invalid processors/addresses."""

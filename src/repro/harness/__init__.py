@@ -1,0 +1,30 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each experiment module exposes ``run(runner) -> ExperimentResult``; the
+:class:`~repro.harness.experiment.ExperimentRunner` caches built programs
+and completed runs so the full suite shares work.  The CLI front end is
+``python -m repro.harness.cli`` (installed as ``dsi-sim``).
+"""
+
+from repro.harness.configs import (
+    FAST_NET,
+    LARGE_CACHE,
+    PROTOCOLS,
+    SLOW_NET,
+    SMALL_CACHE,
+    WORKLOADS,
+    paper_config,
+)
+from repro.harness.experiment import ExperimentResult, ExperimentRunner
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentRunner",
+    "FAST_NET",
+    "LARGE_CACHE",
+    "PROTOCOLS",
+    "SLOW_NET",
+    "SMALL_CACHE",
+    "WORKLOADS",
+    "paper_config",
+]

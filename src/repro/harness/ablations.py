@@ -1,0 +1,287 @@
+"""Ablations of the paper's design choices (DESIGN.md A1–A5).
+
+These go beyond the paper's published data, probing the design space the
+paper discusses qualitatively: version-number width, FIFO depth, the two
+§4.1 special cases, and the read-counter width used for exclusive-block
+identification.
+"""
+
+from repro.harness.configs import FAST_NET, LARGE_CACHE, paper_config
+from repro.harness.experiment import ExperimentResult
+
+
+def version_bits(runner, workload="sparse", widths=(1, 2, 3, 4, 6)):
+    """A1: how small can the version number get before wrap-around aliasing
+    erodes the benefit?  (The paper uses 4 bits.)"""
+    base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
+    headers = ["version_bits", "norm_time", "invalidations"]
+    rows = []
+    for bits in widths:
+        config = paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs, version_bits=bits)
+        result = runner.run(workload, config)
+        rows.append([bits, f"{result.normalized_to(base):.3f}", result.messages.invalidations()])
+    return ExperimentResult(
+        "ablation:version_bits",
+        f"Version-number width sweep ({workload})",
+        headers,
+        rows,
+    )
+
+
+def fifo_depth(runner, workload="sparse", depths=(8, 16, 32, 64, 128, 256, 512)):
+    """A2: FIFO depth sweep — where does the FIFO stop self-invalidating
+    too early?  (The paper uses 64 entries.)"""
+    base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
+    headers = ["fifo_entries", "norm_time", "overflows"]
+    rows = []
+    for depth in depths:
+        config = paper_config("V-FIFO", cache=LARGE_CACHE, n_procs=runner.n_procs, fifo_entries=depth)
+        result = runner.run(workload, config)
+        rows.append([depth, f"{result.normalized_to(base):.3f}", result.misses.fifo_overflows])
+    return ExperimentResult(
+        "ablation:fifo_depth",
+        f"FIFO depth sweep ({workload})",
+        headers,
+        rows,
+    )
+
+
+def upgrade_case(runner, workloads=("em3d", "sparse", "tomcatv")):
+    """A3: the §4.1 SC special case — don't mark exclusive blocks obtained
+    by a sole sharer's upgrade.  The paper found disabling it degrades some
+    programs under SC."""
+    headers = ["workload", "with_case", "without_case"]
+    rows = []
+    for workload in workloads:
+        base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
+        on = runner.run(workload, paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs))
+        off = runner.run(
+            workload,
+            paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs, sc_upgrade_special_case=False),
+        )
+        rows.append([workload, f"{on.normalized_to(base):.3f}", f"{off.normalized_to(base):.3f}"])
+    return ExperimentResult(
+        "ablation:upgrade_case",
+        "SC upgrade special case on/off (DSI-V)",
+        headers,
+        rows,
+    )
+
+
+def home_exclusion(runner, workloads=("em3d", "sparse")):
+    """A4: the §4.1 rule that blocks are never self-invalidated from the
+    home node's own cache."""
+    headers = ["workload", "with_exclusion", "without_exclusion"]
+    rows = []
+    for workload in workloads:
+        base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
+        on = runner.run(workload, paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs))
+        off = runner.run(
+            workload, paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs, home_exclusion=False)
+        )
+        rows.append([workload, f"{on.normalized_to(base):.3f}", f"{off.normalized_to(base):.3f}"])
+    return ExperimentResult(
+        "ablation:home_exclusion",
+        "Home-node exclusion on/off (DSI-V)",
+        headers,
+        rows,
+    )
+
+
+def read_counter(runner, workload="sparse", widths=(1, 2, 3, 4)):
+    """A5: width of the shared-copy shift counter used to identify
+    exclusive blocks for self-invalidation (the paper uses 2 bits =
+    'read by at least two processors')."""
+    base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
+    headers = ["read_counter_bits", "norm_time", "self_invalidations"]
+    rows = []
+    for bits in widths:
+        config = paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs, read_counter_bits=bits)
+        result = runner.run(workload, config)
+        rows.append([bits, f"{result.normalized_to(base):.3f}", result.misses.self_invalidations])
+    return ExperimentResult(
+        "ablation:read_counter",
+        f"Exclusive-identification read-counter width ({workload})",
+        headers,
+        rows,
+    )
+
+
+def cache_side(runner, workloads=("em3d", "sparse", "ocean")):
+    """A6 (extension): cache-side identification (§3.1) vs the paper's
+    directory-side schemes.  The cache marks blocks from its own
+    invalidation-count history — no directory support at all."""
+    headers = ["workload", "states", "version", "cache_side"]
+    rows = []
+    for workload in workloads:
+        base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
+        states = runner.run(workload, paper_config("S", cache=LARGE_CACHE, n_procs=runner.n_procs))
+        version = runner.run(workload, paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs))
+        cache = runner.run(
+            workload,
+            paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs).with_(
+                identify=_cache_scheme()
+            ),
+        )
+        rows.append(
+            [
+                workload,
+                f"{states.normalized_to(base):.3f}",
+                f"{version.normalized_to(base):.3f}",
+                f"{cache.normalized_to(base):.3f}",
+            ]
+        )
+    return ExperimentResult(
+        "ablation:cache_side",
+        "Cache-side vs directory-side identification (normalized to SC)",
+        headers,
+        rows,
+    )
+
+
+def sc_tearoff(runner, workloads=("em3d", "sparse")):
+    """A7 (extension): tear-off blocks under sequential consistency —
+    at most one untracked copy per cache, dropped at the next miss."""
+    headers = ["workload", "dsi_v", "dsi_v_tearoff", "msg_red_%"]
+    rows = []
+    for workload in workloads:
+        base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
+        version = runner.run(workload, paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs))
+        tear = runner.run(
+            workload,
+            paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs, sc_tearoff=True),
+        )
+        base_msgs = version.messages.total_network()
+        tear_msgs = tear.messages.total_network()
+        reduction = 100.0 * (base_msgs - tear_msgs) / max(base_msgs, 1)
+        rows.append(
+            [
+                workload,
+                f"{version.normalized_to(base):.3f}",
+                f"{tear.normalized_to(base):.3f}",
+                f"{reduction:.0f}",
+            ]
+        )
+    return ExperimentResult(
+        "ablation:sc_tearoff",
+        "Tear-off blocks under SC (extension; messages vs plain DSI-V)",
+        headers,
+        rows,
+    )
+
+
+def scaling(runner, workload="sparse", proc_counts=(4, 8, 16, 32)):
+    """A8: DSI benefit vs machine size.  More processors pile more readers
+    behind each invalidation (sparse's convoy), so the benefit grows —
+    the paper's scalability argument made quantitative.
+
+    Machine size changes the workload, so this builds its own runners.
+    """
+    from repro.harness.experiment import ExperimentRunner
+
+    headers = ["procs", "W", "V", "V_saving_%"]
+    rows = []
+    for n_procs in proc_counts:
+        sub = ExperimentRunner(n_procs=n_procs, quick=runner.quick, verbose=runner.verbose)
+        base = sub.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=n_procs))
+        weak = sub.run(workload, paper_config("W", cache=LARGE_CACHE, n_procs=n_procs))
+        version = sub.run(workload, paper_config("V", cache=LARGE_CACHE, n_procs=n_procs))
+        rows.append(
+            [
+                n_procs,
+                f"{weak.normalized_to(base):.3f}",
+                f"{version.normalized_to(base):.3f}",
+                f"{(1 - version.normalized_to(base)) * 100:.0f}",
+            ]
+        )
+    return ExperimentResult(
+        "ablation:scaling",
+        f"DSI benefit vs machine size ({workload})",
+        headers,
+        rows,
+    )
+
+
+def block_size(runner, workload="ocean", sizes=(32, 64, 128)):
+    """A9: cache-block size.  Bigger blocks mean more false sharing on the
+    boundary rows and more invalidation traffic per conflict."""
+    headers = ["block_bytes", "SC_exec", "invalidations", "V_norm"]
+    rows = []
+    for size in sizes:
+        base_config = paper_config(
+            "SC", cache=LARGE_CACHE, n_procs=runner.n_procs, block_size=size
+        )
+        base = runner.run(workload, base_config)
+        version = runner.run(
+            workload,
+            paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs, block_size=size),
+        )
+        rows.append(
+            [
+                size,
+                base.exec_time,
+                base.messages.invalidations(),
+                f"{version.normalized_to(base):.3f}",
+            ]
+        )
+    return ExperimentResult(
+        "ablation:block_size",
+        f"Cache-block size sweep ({workload})",
+        headers,
+        rows,
+        notes="The workload assumes 32-byte blocks for its layout; larger "
+        "blocks add false sharing on adjacent data.",
+    )
+
+
+def migratory_combo(runner, workloads=("barnes", "sparse")):
+    """A10: the migratory-data optimization §2 cites as complementary —
+    alone, and combined with DSI-V."""
+    headers = ["workload", "dsi_v", "migratory", "combined", "upgr_base", "upgr_mig"]
+    rows = []
+    for workload in workloads:
+        base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
+        version = runner.run(workload, paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs))
+        mig = runner.run(
+            workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs, migratory=True)
+        )
+        combo = runner.run(
+            workload,
+            paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs, migratory=True),
+        )
+        rows.append(
+            [
+                workload,
+                f"{version.normalized_to(base):.3f}",
+                f"{mig.normalized_to(base):.3f}",
+                f"{combo.normalized_to(base):.3f}",
+                base.misses.upgrades,
+                mig.misses.upgrades,
+            ]
+        )
+    return ExperimentResult(
+        "ablation:migratory",
+        "Migratory optimization vs DSI vs both (normalized to SC)",
+        headers,
+        rows,
+    )
+
+
+def _cache_scheme():
+    from repro.config import IdentifyScheme
+
+    return IdentifyScheme.CACHE
+
+
+ALL = {
+    "version_bits": version_bits,
+    "fifo_depth": fifo_depth,
+    "upgrade_case": upgrade_case,
+    "home_exclusion": home_exclusion,
+    "read_counter": read_counter,
+    "cache_side": cache_side,
+    "sc_tearoff": sc_tearoff,
+    "scaling": scaling,
+    "migratory": migratory_combo,
+    "block_size": block_size,
+}

@@ -1,0 +1,224 @@
+"""Command-line front end: ``dsi-sim`` / ``python -m repro.harness.cli``.
+
+Examples::
+
+    dsi-sim figure3                  # full-scale reproduction of Figure 3
+    dsi-sim all --quick --procs 8    # fast sanity sweep of every experiment
+    dsi-sim ablation:fifo_depth      # one ablation
+    dsi-sim bars --quick --procs 8   # Figure 3 as terminal stacked bars
+    dsi-sim list                     # show available experiments
+
+    dsi-sim run --workload em3d --protocol V --procs 16
+                                     # one simulation with full statistics
+    dsi-sim gen --workload sparse -o sparse.npz
+                                     # export a workload trace for reuse
+    dsi-sim run --trace sparse.npz --protocol W
+                                     # simulate a saved trace
+"""
+
+import argparse
+import sys
+import time
+
+from repro.harness import ablations, figure2, figure3, figure4, figure5, figure6, table2, table3
+from repro.harness.configs import (
+    LARGE_CACHE,
+    PROTOCOLS,
+    SMALL_CACHE,
+    WORKLOADS,
+    paper_config,
+    workload_args,
+)
+from repro.harness.experiment import ExperimentRunner
+from repro.stats.ascii_chart import stacked_bars
+from repro.stats.report import format_table
+from repro.system import Machine
+from repro.trace.io import load_program, save_program
+from repro.workloads import by_name
+
+EXPERIMENTS = {
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "table2": table2.run,
+    "table3": table3.run,
+}
+for name, fn in ablations.ALL.items():
+    EXPERIMENTS[f"ablation:{name}"] = fn
+
+#: "all" runs the paper experiments (not the ablations).
+PAPER_SET = ("figure2", "figure3", "figure4", "figure5", "figure6", "table2", "table3")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="dsi-sim",
+        description="Reproduce the tables and figures of Lebeck & Wood, "
+        "'Dynamic Self-Invalidation' (ISCA 1995).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'all', 'ablations', 'bars', "
+        "'run', or 'gen'",
+    )
+    parser.add_argument("--procs", type=int, default=32, help="machine size (default 32)")
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced workload sizes (fast sanity run)"
+    )
+    parser.add_argument("--verbose", action="store_true", help="log each simulation run")
+    # run / gen options
+    parser.add_argument("--workload", choices=sorted(WORKLOADS), help="workload for run/gen")
+    parser.add_argument("--trace", help="run: simulate a saved .npz trace instead")
+    parser.add_argument(
+        "--protocol", default="SC", help="run: protocol label (SC, W, S, V, W+V, V-FIFO)"
+    )
+    parser.add_argument(
+        "--cache", type=int, default=SMALL_CACHE, help="run: cache bytes (default 16384)"
+    )
+    parser.add_argument(
+        "--latency", type=int, default=100, help="run: network latency in cycles"
+    )
+    parser.add_argument("-o", "--output", help="gen: output .npz path")
+    parser.add_argument(
+        "--show-trace",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run: print the first N protocol messages",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        for extra in ("bars", "run", "gen", "describe"):
+            print(extra)
+        return 0
+    if args.experiment == "bars":
+        return _bars(args)
+    if args.experiment == "run":
+        return _run_one(args)
+    if args.experiment == "gen":
+        return _generate(args)
+    if args.experiment == "describe":
+        return _describe(args)
+    if args.experiment == "all":
+        selected = PAPER_SET
+    elif args.experiment == "ablations":
+        selected = tuple(f"ablation:{name}" for name in ablations.ALL)
+    elif args.experiment in EXPERIMENTS:
+        selected = (args.experiment,)
+    else:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    runner = ExperimentRunner(n_procs=args.procs, quick=args.quick, verbose=args.verbose)
+    started = time.time()
+    for name in selected:
+        result = EXPERIMENTS[name](runner)
+        print(result.format())
+        print()
+    print(
+        f"# {runner.total_sim_runs} simulation runs in {time.time() - started:.1f}s "
+        f"(procs={args.procs}{', quick' if args.quick else ''})"
+    )
+    return 0
+
+
+def _bars(args):
+    """Render Figure 3 as terminal stacked bars, one group per workload."""
+    runner = ExperimentRunner(n_procs=args.procs, quick=args.quick, verbose=args.verbose)
+    for workload in WORKLOADS:
+        results = []
+        for protocol in PROTOCOLS:
+            config = paper_config(protocol, cache=SMALL_CACHE, n_procs=args.procs)
+            result = runner.run(workload, config)
+            result.label = protocol
+            results.append(result)
+        print(stacked_bars(results, title=f"{workload} (normalized to SC)"))
+        print()
+    return 0
+
+
+def _load_run_program(args):
+    if args.trace:
+        return load_program(args.trace)
+    if not args.workload:
+        print("run: need --workload or --trace", file=sys.stderr)
+        return None
+    return by_name(
+        args.workload, **workload_args(args.workload, quick=args.quick, n_procs=args.procs)
+    )
+
+
+def _run_one(args):
+    """One simulation with the full statistics dump."""
+    program = _load_run_program(args)
+    if program is None:
+        return 2
+    config = paper_config(
+        args.protocol,
+        cache=args.cache,
+        latency=args.latency,
+        n_procs=program.n_procs,
+    )
+    started = time.time()
+    machine = Machine(config, program)
+    tracer = None
+    if args.show_trace:
+        from repro.stats.tracer import MessageTracer, attach_tracer
+
+        tracer = attach_tracer(machine, MessageTracer(limit=args.show_trace))
+    result = machine.run()
+    wall = time.time() - started
+    if tracer is not None:
+        print(tracer.format())
+        print()
+    print(f"workload: {program.describe()}")
+    print(f"protocol: {config.describe()}  cache={config.cache_size // 1024}KB "
+          f"net={config.network_latency}\n")
+    fractions = result.aggregate_breakdown().fractions()
+    rows = [[category, f"{fractions[category]:.3f}"] for category in fractions if fractions[category]]
+    print(format_table(["category", "fraction"], rows, title="execution-time breakdown"))
+    print()
+    message_rows = sorted(result.messages.network.items())
+    print(format_table(["message", "count"], message_rows, title="network messages"))
+    print()
+    print(f"execution time: {result.exec_time} cycles")
+    print(f"miss rate: {result.misses.miss_rate():.4f}")
+    print(f"self-invalidations: {result.misses.self_invalidations}")
+    print(f"directory occupancy: {result.dir_occupancy():.3f}")
+    print(f"({result.events_fired} events in {wall:.1f}s)")
+    return 0
+
+
+def _describe(args):
+    """Static sharing-pattern profile of a workload (no simulation)."""
+    from repro.stats.profile import analyze_program
+
+    program = _load_run_program(args)
+    if program is None:
+        return 2
+    print(analyze_program(program).format())
+    return 0
+
+
+def _generate(args):
+    """Export a generated workload trace to .npz."""
+    if not args.workload or not args.output:
+        print("gen: need --workload and --output", file=sys.stderr)
+        return 2
+    program = by_name(
+        args.workload, **workload_args(args.workload, quick=args.quick, n_procs=args.procs)
+    )
+    save_program(program, args.output)
+    print(f"wrote {program.describe()} -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

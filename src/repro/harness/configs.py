@@ -1,0 +1,80 @@
+"""Paper configurations, scaled.
+
+The paper simulates 32 processors with 256 KB and 2 MB caches.  Our
+workloads are scaled down by 16x to keep trace-driven simulation fast, so
+the cache pair scales identically: 16 KB stands in for 256 KB, 128 KB for
+2 MB.  What the experiments depend on is the *ratio* of working set to
+cache size, which the scaling preserves (see DESIGN.md, substitutions).
+
+Protocol labels follow Figure 3: SC (base sequential consistency), W
+(weak consistency with a 16-entry coalescing write buffer), S (SC + DSI
+with additional states), V (SC + DSI with 4-bit version numbers).
+"""
+
+from repro.config import Consistency, IdentifyScheme, KB, SIMechanism, SystemConfig
+from repro.errors import ConfigError
+
+SMALL_CACHE = 16 * KB  # stands for the paper's 256 KB
+LARGE_CACHE = 128 * KB  # stands for the paper's 2 MB
+FAST_NET = 100
+SLOW_NET = 1000
+
+#: Figure 3's four protocol bars.
+PROTOCOLS = ("SC", "W", "S", "V")
+
+#: The five applications of Table 1.
+WORKLOADS = ("barnes", "em3d", "ocean", "sparse", "tomcatv")
+
+_PROTOCOL_FIELDS = {
+    "SC": {},
+    "W": {"consistency": Consistency.WC},
+    "S": {"identify": IdentifyScheme.STATES},
+    "V": {"identify": IdentifyScheme.VERSION},
+    # Weak consistency + DSI with tear-off blocks (§5.3).
+    "W+V": {
+        "consistency": Consistency.WC,
+        "identify": IdentifyScheme.VERSION,
+        "tearoff": True,
+    },
+    "W+S": {
+        "consistency": Consistency.WC,
+        "identify": IdentifyScheme.STATES,
+        "tearoff": True,
+    },
+    # Figure 5's FIFO variant of V.
+    "V-FIFO": {"identify": IdentifyScheme.VERSION, "si_mechanism": SIMechanism.FIFO},
+}
+
+
+def paper_config(protocol="SC", cache=SMALL_CACHE, latency=FAST_NET, n_procs=32, **overrides):
+    """A :class:`~repro.config.SystemConfig` for one paper data point."""
+    if protocol not in _PROTOCOL_FIELDS:
+        raise ConfigError(f"unknown protocol label {protocol!r}; have {sorted(_PROTOCOL_FIELDS)}")
+    fields = dict(_PROTOCOL_FIELDS[protocol])
+    fields.update(overrides)
+    return SystemConfig(
+        n_processors=n_procs,
+        cache_size=cache,
+        network_latency=latency,
+        **fields,
+    )
+
+
+#: Reduced workload parameters for quick runs (CI, pytest, benchmarks).
+QUICK_WORKLOAD_ARGS = {
+    "barnes": {"bodies_per_proc": 8, "cells": 48, "iterations": 2, "gather": 6},
+    "em3d": {"nodes_per_proc": 48, "iterations": 3, "private_words": 256},
+    "ocean": {"cols": 32, "days": 2, "sweeps_per_day": 3},
+    # x_words stays large enough that the per-processor self-invalidate
+    # set (~x_words/8 blocks) still overflows the 64-entry FIFO (Figure 5).
+    "sparse": {"x_words": 1024, "iterations": 3, "a_words_per_proc": 256},
+    "tomcatv": {"rows_per_proc": 6, "cols": 64, "iterations": 2},
+}
+
+
+def workload_args(name, quick=False, n_procs=32):
+    """Keyword arguments for one workload generator at the chosen scale."""
+    args = {"n_procs": n_procs}
+    if quick:
+        args.update(QUICK_WORKLOAD_ARGS.get(name, {}))
+    return args

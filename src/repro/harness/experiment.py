@@ -1,0 +1,81 @@
+"""Experiment runner with program/run caching."""
+
+import sys
+import time
+
+from repro.harness.configs import workload_args
+from repro.stats.report import format_table
+from repro.system import Machine
+from repro.workloads import by_name
+
+
+class ExperimentResult:
+    """Outcome of one experiment (one table or figure)."""
+
+    def __init__(self, experiment_id, title, headers, rows, notes=""):
+        self.experiment_id = experiment_id
+        self.title = title
+        self.headers = headers
+        self.rows = rows
+        self.notes = notes
+
+    def format(self):
+        text = format_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")
+        if self.notes:
+            text += "\n" + self.notes
+        return text
+
+    def row_dicts(self):
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+    def __repr__(self):
+        return f"ExperimentResult({self.experiment_id}, rows={len(self.rows)})"
+
+
+class ExperimentRunner:
+    """Builds workloads once and memoizes simulation runs.
+
+    Parameters
+    ----------
+    n_procs:
+        Machine size (the paper uses 32).
+    quick:
+        Use reduced workload parameters — for tests and benchmark CI runs.
+    verbose:
+        Print one line per simulation run to stderr.
+    """
+
+    def __init__(self, n_procs=32, quick=False, verbose=False):
+        self.n_procs = n_procs
+        self.quick = quick
+        self.verbose = verbose
+        self._programs = {}
+        self._runs = {}
+        self.total_sim_runs = 0
+
+    def program(self, name, **extra_args):
+        key = (name, tuple(sorted(extra_args.items())))
+        if key not in self._programs:
+            args = workload_args(name, quick=self.quick, n_procs=self.n_procs)
+            args.update(extra_args)
+            self._programs[key] = by_name(name, **args)
+        return self._programs[key]
+
+    def run(self, workload, config, **workload_extra):
+        """Simulate ``workload`` under ``config`` (memoized)."""
+        program = self.program(workload, **workload_extra)
+        key = (workload, tuple(sorted(workload_extra.items())), config)
+        if key in self._runs:
+            return self._runs[key]
+        started = time.time()
+        result = Machine(config, program).run()
+        self.total_sim_runs += 1
+        if self.verbose:
+            print(
+                f"[run {self.total_sim_runs}] {workload:10s} {config.describe():12s} "
+                f"cache={config.cache_size // 1024}KB net={config.network_latency} "
+                f"exec={result.exec_time} ({time.time() - started:.1f}s)",
+                file=sys.stderr,
+            )
+        self._runs[key] = result
+        return result

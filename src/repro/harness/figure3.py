@@ -1,0 +1,68 @@
+"""Figure 3: performance of DSI under sequential consistency.
+
+Five applications x four protocols (SC, W, S, V) x two cache sizes at the
+100-cycle network.  Reports execution time normalized to SC plus the
+stacked-bar breakdown categories of the paper's figure, side by side with
+the paper's published normalized times.
+"""
+
+from repro.harness import paper_reference
+from repro.harness.configs import FAST_NET, LARGE_CACHE, PROTOCOLS, SMALL_CACHE, WORKLOADS, paper_config
+from repro.harness.experiment import ExperimentResult
+
+EXPERIMENT_ID = "figure3"
+
+
+def run(runner, latency=FAST_NET, reference=paper_reference.FIGURE3):
+    headers = [
+        "workload",
+        "cache",
+        "protocol",
+        "norm_time",
+        "paper",
+        "compute",
+        "sync",
+        "read_inval",
+        "read_other",
+        "write_inval",
+        "write_other",
+        "wb",
+        "dsi",
+    ]
+    rows = []
+    for workload in WORKLOADS:
+        for cache, cache_label in ((SMALL_CACHE, "small"), (LARGE_CACHE, "large")):
+            base = runner.run(workload, paper_config("SC", cache=cache, latency=latency, n_procs=runner.n_procs))
+            for protocol in PROTOCOLS:
+                config = paper_config(protocol, cache=cache, latency=latency, n_procs=runner.n_procs)
+                result = runner.run(workload, config)
+                fractions = result.aggregate_breakdown().fractions()
+                ref = (reference or {}).get(workload, {}).get(cache_label, {}).get(protocol)
+                rows.append(
+                    [
+                        workload,
+                        cache_label,
+                        protocol,
+                        f"{result.normalized_to(base):.2f}",
+                        paper_reference.fmt(ref),
+                        f"{fractions['compute']:.2f}",
+                        f"{fractions['sync']:.2f}",
+                        f"{fractions['read_inval']:.2f}",
+                        f"{fractions['read_other']:.2f}",
+                        f"{fractions['write_inval']:.2f}",
+                        f"{fractions['write_other']:.2f}",
+                        f"{fractions['synch_wb'] + fractions['read_wb'] + fractions['wb_full']:.2f}",
+                        f"{fractions['dsi']:.2f}",
+                    ]
+                )
+    return ExperimentResult(
+        EXPERIMENT_ID,
+        "DSI under sequential consistency (normalized execution time)",
+        headers,
+        rows,
+        notes=(
+            "cache 'small'/'large' stand for the paper's 256KB/2MB (scaled 16x with "
+            "the workloads); 'paper' is the published normalized time, '--' where "
+            "the paper reports no significant change."
+        ),
+    )

@@ -1,0 +1,24 @@
+"""Figure 4 (and the §5.2 network-latency text): the 1000-cycle network.
+
+Identical sweep to Figure 3 at ``SLOW_NET`` — the paper's Figure 4 shows
+the 2 MB cache; the accompanying text gives the 256 KB numbers, so both
+cache sizes are reported here.
+"""
+
+from repro.harness import paper_reference
+from repro.harness.configs import SLOW_NET
+from repro.harness.experiment import ExperimentResult
+from repro.harness import figure3
+
+EXPERIMENT_ID = "figure4"
+
+
+def run(runner):
+    inner = figure3.run(runner, latency=SLOW_NET, reference=paper_reference.FIGURE4)
+    return ExperimentResult(
+        EXPERIMENT_ID,
+        "Impact of network latency (1000-cycle network)",
+        inner.headers,
+        inner.rows,
+        notes=inner.notes,
+    )

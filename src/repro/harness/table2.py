@@ -1,0 +1,43 @@
+"""Table 2: weakly consistent DSI normalized execution time.
+
+WC+DSI (version numbers, tear-off) over plain WC for all four
+(cache, network) configurations, next to the paper's published values.
+"""
+
+from repro.harness import paper_reference
+from repro.harness.configs import FAST_NET, LARGE_CACHE, SLOW_NET, SMALL_CACHE, WORKLOADS, paper_config
+from repro.harness.experiment import ExperimentResult
+
+EXPERIMENT_ID = "table2"
+
+CONFIGS = (
+    ("small", SMALL_CACHE, FAST_NET),
+    ("large", LARGE_CACHE, FAST_NET),
+    ("small", SMALL_CACHE, SLOW_NET),
+    ("large", LARGE_CACHE, SLOW_NET),
+)
+
+
+def run(runner):
+    headers = ["workload", "cache", "network", "norm_time", "paper"]
+    rows = []
+    for workload in WORKLOADS:
+        for cache_label, cache, latency in CONFIGS:
+            base = runner.run(workload, paper_config("W", cache=cache, latency=latency, n_procs=runner.n_procs))
+            dsi = runner.run(workload, paper_config("W+V", cache=cache, latency=latency, n_procs=runner.n_procs))
+            ref = paper_reference.TABLE2[(cache_label, latency)].get(workload)
+            rows.append(
+                [
+                    workload,
+                    cache_label,
+                    latency,
+                    f"{dsi.normalized_to(base):.2f}",
+                    paper_reference.fmt(ref),
+                ]
+            )
+    return ExperimentResult(
+        EXPERIMENT_ID,
+        "Weakly consistent DSI normalized execution time (WC+DSI / WC)",
+        headers,
+        rows,
+    )

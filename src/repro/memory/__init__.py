@@ -1,0 +1,18 @@
+"""Memory-side substrates: addressing, caches, write buffers."""
+
+from repro.memory.address import Allocator, RoundRobinHome, SegmentHome
+from repro.memory.cache import Cache, CacheFrame, EXCLUSIVE, INVALID, SHARED
+from repro.memory.write_buffer import CoalescingWriteBuffer, WriteBufferEntry
+
+__all__ = [
+    "Allocator",
+    "Cache",
+    "CacheFrame",
+    "CoalescingWriteBuffer",
+    "EXCLUSIVE",
+    "INVALID",
+    "RoundRobinHome",
+    "SHARED",
+    "SegmentHome",
+    "WriteBufferEntry",
+]

@@ -1,0 +1,101 @@
+"""Address arithmetic, home-node mapping and workload allocation.
+
+The machine distributes directory entries (and backing memory) across the
+nodes.  Two placement policies are provided:
+
+* :class:`RoundRobinHome` — block-interleaved (``home = block % n``), the
+  default when a workload has no locality structure.
+* :class:`SegmentHome` — the address space is carved into fixed-size
+  per-node segments and a workload allocates each processor's data in its
+  own segment ("local allocation", as EM3D does in the paper).
+
+:class:`Allocator` is a per-node bump allocator used by the workload
+generators.
+"""
+
+from repro.errors import TraceError
+
+#: log2 of a home segment (4 MiB): addresses in segment ``p`` live on node ``p``.
+SEGMENT_SHIFT = 22
+SEGMENT_BYTES = 1 << SEGMENT_SHIFT
+
+
+class RoundRobinHome:
+    """Block-interleaved home mapping: ``home(block) = block % n``."""
+
+    def __init__(self, n_nodes):
+        self.n_nodes = n_nodes
+
+    def home_of(self, block):
+        return block % self.n_nodes
+
+
+class SegmentHome:
+    """Segment-based home mapping for local allocation.
+
+    Address ``a`` lives on node ``a >> SEGMENT_SHIFT``; workloads place
+    processor-local data in the owning processor's segment.
+    """
+
+    def __init__(self, n_nodes, block_shift):
+        self.n_nodes = n_nodes
+        self.block_shift = block_shift
+        self._seg_blocks_shift = SEGMENT_SHIFT - block_shift
+
+    def home_of(self, block):
+        home = block >> self._seg_blocks_shift
+        if home >= self.n_nodes:
+            raise TraceError(
+                f"block {block:#x} maps to segment {home}, but the machine has "
+                f"only {self.n_nodes} nodes"
+            )
+        return home
+
+
+class Allocator:
+    """Bump allocator over per-node segments.
+
+    >>> alloc = Allocator(n_nodes=4, block_size=32)
+    >>> a = alloc.alloc(node=1, nbytes=64)
+    >>> a >> SEGMENT_SHIFT
+    1
+    """
+
+    def __init__(self, n_nodes, block_size):
+        self.n_nodes = n_nodes
+        self.block_size = block_size
+        # Stagger each node's base within its segment.  Segment bases are
+        # large powers of two, so without this every node's data would map
+        # onto the *same* cache sets and conflict-thrash — real programs
+        # don't alias like that (virtual mappings / page coloring spread
+        # them).  The stagger is a golden-ratio hash, block-aligned.
+        self._next = [
+            (node << SEGMENT_SHIFT)
+            + ((node * 0x9E3779B1) % (1 << 14)) * block_size
+            for node in range(n_nodes)
+        ]
+        self._base = list(self._next)
+
+    def alloc(self, node, nbytes, align_block=True):
+        """Reserve ``nbytes`` on ``node``; returns the base byte address."""
+        if node < 0 or node >= self.n_nodes:
+            raise TraceError(f"no such node {node}")
+        base = self._next[node]
+        if align_block:
+            base = -(-base // self.block_size) * self.block_size
+        end = base + nbytes
+        if end > ((node + 1) << SEGMENT_SHIFT):
+            raise TraceError(
+                f"segment overflow on node {node}: workload needs more than "
+                f"{SEGMENT_BYTES} bytes of node-local data"
+            )
+        self._next[node] = end
+        return base
+
+    def alloc_blocks(self, node, n_blocks):
+        """Reserve ``n_blocks`` whole blocks; returns the first block number."""
+        base = self.alloc(node, n_blocks * self.block_size, align_block=True)
+        return base // self.block_size
+
+    def bytes_used(self, node):
+        return self._next[node] - self._base[node]

@@ -1,0 +1,216 @@
+"""The per-node cache: set-associative, LRU, with the DSI extensions.
+
+Beyond a textbook cache this model carries the paper's hardware additions:
+
+* an ``s`` bit per frame marking the block for self-invalidation (§4.2);
+* a small version number per frame, retained *after* invalidation together
+  with the tag so a subsequent miss can present it to the directory
+  (§4.1, version-number scheme);
+* a tear-off flag marking untracked copies (§3.3);
+* the linked list of s-marked frames used by the selective-flush
+  self-invalidation mechanism (modelled as a Python list, which is exactly
+  the hardware linked list's behaviour: only marked frames are visited).
+
+State is per-frame: INVALID, SHARED or EXCLUSIVE (the paper's "exclusive"
+is writable-and-possibly-dirty, i.e. an M state).
+"""
+
+from repro.errors import SimulationError
+
+INVALID = 0
+SHARED = 1
+EXCLUSIVE = 2
+
+_STATE_NAMES = {INVALID: "I", SHARED: "S", EXCLUSIVE: "E"}
+
+
+class CacheFrame:
+    """One cache frame (tag + state + DSI metadata).
+
+    The tag and version survive invalidation (``valid = False`` but the tag
+    sticks around) — that is what lets the version-number scheme send the
+    stale version with the next miss.
+    """
+
+    __slots__ = (
+        "tag",
+        "valid",
+        "state",
+        "dirty",
+        "s_bit",
+        "tearoff",
+        "version",
+        "data",
+        "lru",
+        "pinned",
+    )
+
+    def __init__(self):
+        self.tag = -1
+        self.valid = False
+        self.state = INVALID
+        self.dirty = False
+        self.s_bit = False
+        self.tearoff = False
+        self.version = None
+        self.data = 0
+        self.lru = 0
+        self.pinned = False  # an upgrade is outstanding; not evictable
+
+    def state_name(self):
+        return _STATE_NAMES[self.state if self.valid else INVALID]
+
+    def __repr__(self):
+        return (
+            f"CacheFrame(tag={self.tag}, {self.state_name()}"
+            f"{', s' if self.s_bit else ''}{', tearoff' if self.tearoff else ''})"
+        )
+
+
+class Victim:
+    """What got evicted to make room for a fill."""
+
+    __slots__ = ("block", "state", "dirty", "s_bit", "tearoff", "data")
+
+    def __init__(self, frame):
+        self.block = frame.tag
+        self.state = frame.state
+        self.dirty = frame.dirty
+        self.s_bit = frame.s_bit
+        self.tearoff = frame.tearoff
+        self.data = frame.data
+
+
+class Cache:
+    """A 4-way (configurable) set-associative LRU cache."""
+
+    def __init__(self, config, node):
+        self.node = node
+        self.n_sets = config.n_sets
+        self.assoc = config.cache_assoc
+        self.sets = [[CacheFrame() for _ in range(self.assoc)] for _ in range(self.n_sets)]
+        self._clock = 0
+        # Frames currently holding s-marked valid blocks — the hardware
+        # linked list of §4.2, modelled as an insertion-ordered dict (a
+        # plain set would iterate in id() order, making runs
+        # irreproducible and unlike the hardware).
+        self.si_frames = {}
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def set_index(self, block):
+        return block % self.n_sets
+
+    def lookup(self, block, touch=True):
+        """Return the valid frame holding ``block``, or None on a miss."""
+        for frame in self.sets[block % self.n_sets]:
+            if frame.tag == block and frame.valid:
+                if touch:
+                    self._clock += 1
+                    frame.lru = self._clock
+                return frame
+        return None
+
+    def stored_version(self, block):
+        """Version retained with a matching tag (valid or not), else None."""
+        for frame in self.sets[block % self.n_sets]:
+            if frame.tag == block:
+                return frame.version
+        return None
+
+    # ------------------------------------------------------------------
+    # Fill / evict
+    # ------------------------------------------------------------------
+    def fill(self, block, state, data, version=None, s_bit=False, tearoff=False, dirty=False):
+        """Install ``block``; returns ``(frame, victim_or_None)``.
+
+        Returns ``(None, None)`` if every frame in the set is pinned by an
+        outstanding transaction (the caller must retry later).
+        """
+        frames = self.sets[block % self.n_sets]
+        target = None
+        # Prefer the frame already holding this tag (keeps history compact),
+        # then any invalid frame, then the LRU unpinned frame.
+        for frame in frames:
+            if frame.tag == block:
+                target = frame
+                break
+        if target is None:
+            # Prefer an invalid frame (no eviction needed); among several,
+            # the least-recently-used one — recently invalidated frames keep
+            # their tag+version history alive for the version-number scheme.
+            invalid = [f for f in frames if not f.valid and not f.pinned]
+            if invalid:
+                target = min(invalid, key=lambda f: f.lru)
+        victim = None
+        if target is None:
+            candidates = [f for f in frames if not f.pinned]
+            if not candidates:
+                return None, None
+            target = min(candidates, key=lambda f: f.lru)
+            if target.valid:
+                victim = Victim(target)
+        elif target.valid:
+            if target.tag == block:
+                raise SimulationError(f"fill of block {block} already valid in cache {self.node}")
+            victim = Victim(target)
+        if victim is not None or target.valid:
+            self._drop_si(target)
+        target.tag = block
+        target.valid = True
+        target.state = state
+        target.dirty = dirty
+        target.data = data
+        target.version = version
+        target.tearoff = tearoff
+        target.s_bit = s_bit
+        self._clock += 1
+        target.lru = self._clock
+        if s_bit:
+            self.si_frames[target] = None
+        return target, victim
+
+    def invalidate(self, frame, keep_version=True):
+        """Drop a copy (explicit INV, replacement, or self-invalidation).
+
+        The tag — and, per the version-number scheme, the version — remain
+        in the frame so a later miss can present the stale version.
+        """
+        self._drop_si(frame)
+        frame.valid = False
+        frame.state = INVALID
+        frame.dirty = False
+        frame.tearoff = False
+        # Note: ``pinned`` is left alone — the cache controller manages pins
+        # (an upgrade MSHR keeps its frame reserved across an invalidation).
+        if not keep_version:
+            frame.version = None
+
+    def mark_si(self, frame, marked=True):
+        """Set/clear the s bit, maintaining the selective-flush list."""
+        if marked and frame.valid:
+            frame.s_bit = True
+            self.si_frames[frame] = None
+        else:
+            self._drop_si(frame)
+
+    def _drop_si(self, frame):
+        if frame.s_bit:
+            frame.s_bit = False
+            self.si_frames.pop(frame, None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def valid_blocks(self):
+        """{block: frame} for every valid copy (test/monitor helper)."""
+        return {
+            frame.tag: frame
+            for cache_set in self.sets
+            for frame in cache_set
+            if frame.valid
+        }
+
+    def occupancy(self):
+        return sum(1 for s in self.sets for f in s if f.valid)

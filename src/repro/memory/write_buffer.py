@@ -1,0 +1,105 @@
+"""The weak-consistency coalescing write buffer (paper §5.1).
+
+Sixteen entries, each holding an entire cache block.  A write miss
+allocates an entry and the processor continues; further writes to the same
+block merge into the existing entry.  An entry retires once the block's
+data has arrived *and* the directory has confirmed that every stale copy
+was invalidated (the single forwarded acknowledgment).  The processor
+stalls when the buffer is full, and drains the buffer at synchronization
+operations.
+"""
+
+from collections import OrderedDict
+
+from repro.errors import SimulationError
+
+WAIT_DATA = 0  # request issued, data not yet arrived
+WAIT_ACK = 1  # data arrived, invalidation acks still being collected
+
+
+class WriteBufferEntry:
+    __slots__ = ("block", "status", "data", "merged_writes", "issued_at")
+
+    def __init__(self, block, data, issued_at):
+        self.block = block
+        self.status = WAIT_DATA
+        self.data = data
+        self.merged_writes = 0
+        self.issued_at = issued_at
+
+
+class CoalescingWriteBuffer:
+    """Block-granular coalescing write buffer with completion callbacks."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.entries = OrderedDict()  # block -> WriteBufferEntry
+        self._on_space = []  # callbacks waiting for a free entry
+        self._on_empty = []  # callbacks waiting for a full drain
+        self.peak_occupancy = 0
+        self.total_merges = 0
+
+    def __len__(self):
+        return len(self.entries)
+
+    @property
+    def full(self):
+        return len(self.entries) >= self.capacity
+
+    @property
+    def empty(self):
+        return not self.entries
+
+    def get(self, block):
+        return self.entries.get(block)
+
+    def allocate(self, block, data, now):
+        if self.full:
+            raise SimulationError("write buffer overflow (caller must stall first)")
+        if block in self.entries:
+            raise SimulationError(f"duplicate write-buffer entry for block {block}")
+        entry = WriteBufferEntry(block, data, now)
+        self.entries[block] = entry
+        self.peak_occupancy = max(self.peak_occupancy, len(self.entries))
+        return entry
+
+    def merge(self, block, data):
+        """Coalesce a new write into an outstanding entry."""
+        entry = self.entries[block]
+        entry.data = data
+        entry.merged_writes += 1
+        self.total_merges += 1
+        return entry
+
+    def mark_data_arrived(self, block):
+        entry = self.entries.get(block)
+        if entry is not None and entry.status == WAIT_DATA:
+            entry.status = WAIT_ACK
+
+    def retire(self, block):
+        """Remove a completed entry and wake anyone waiting for space/drain."""
+        if block not in self.entries:
+            raise SimulationError(f"retiring unknown write-buffer entry {block}")
+        del self.entries[block]
+        if self._on_space:
+            waiters, self._on_space = self._on_space, []
+            for callback in waiters:
+                callback()
+        if self.empty and self._on_empty:
+            waiters, self._on_empty = self._on_empty, []
+            for callback in waiters:
+                callback()
+
+    def when_space(self, callback):
+        """Call ``callback()`` once an entry frees (immediately if not full)."""
+        if not self.full:
+            callback()
+        else:
+            self._on_space.append(callback)
+
+    def when_empty(self, callback):
+        """Call ``callback()`` once the buffer has fully drained."""
+        if self.empty:
+            callback()
+        else:
+            self._on_empty.append(callback)

@@ -1,0 +1,7 @@
+"""Interconnect: message types, network interfaces, and the network itself."""
+
+from repro.network.message import DIR_BOUND, MsgKind, Message
+from repro.network.network import Network
+from repro.network.topology import MeshNetwork
+
+__all__ = ["DIR_BOUND", "MeshNetwork", "Message", "MsgKind", "Network"]

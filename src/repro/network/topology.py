@@ -1,0 +1,56 @@
+"""Topology-aware network variants.
+
+The paper assumes a constant network latency.  :class:`MeshNetwork` is an
+extension used by the ablation harness to check that DSI's benefit is
+robust to distance-dependent latency: nodes are arranged in a 2-D mesh and
+latency grows with Manhattan hop count.
+"""
+
+import math
+
+from repro.errors import ConfigError
+from repro.network.network import Network
+
+
+class MeshNetwork(Network):
+    """2-D mesh with per-hop latency.
+
+    Latency between distinct nodes is ``base_latency + hop_cycles * hops``
+    where ``hops`` is the Manhattan distance on a near-square mesh.
+    ``base_latency`` defaults to the configured network latency scaled so
+    that the *average* latency over all pairs matches the constant-latency
+    network, which keeps results comparable.
+    """
+
+    def __init__(self, sim, config, counters=None, hop_cycles=8, base_latency=None):
+        super().__init__(sim, config, counters)
+        n = config.n_processors
+        self.cols = int(math.ceil(math.sqrt(n)))
+        self.rows = int(math.ceil(n / self.cols))
+        if self.cols * self.rows < n:
+            raise ConfigError("mesh dimensions do not cover all nodes")
+        self.hop_cycles = hop_cycles
+        if base_latency is None:
+            base_latency = max(1, config.network_latency - hop_cycles * self._mean_hops(n))
+        self.base_latency = int(base_latency)
+
+    def _coords(self, node):
+        return node // self.cols, node % self.cols
+
+    def hops(self, src, dst):
+        r1, c1 = self._coords(src)
+        r2, c2 = self._coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def _mean_hops(self, n):
+        total = 0
+        pairs = 0
+        for a in range(n):
+            for b in range(n):
+                if a != b:
+                    total += self.hops(a, b)
+                    pairs += 1
+        return total // max(pairs, 1)
+
+    def latency(self, src, dst):
+        return self.base_latency + self.hop_cycles * self.hops(src, dst)

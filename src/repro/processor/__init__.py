@@ -1,0 +1,6 @@
+"""Trace-driven processors and synchronization primitives."""
+
+from repro.processor.cpu import Processor, StampSource
+from repro.processor.sync import BarrierManager, LockManager
+
+__all__ = ["BarrierManager", "LockManager", "Processor", "StampSource"]

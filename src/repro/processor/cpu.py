@@ -1,0 +1,268 @@
+"""The trace-driven processor model.
+
+Each processor walks its trace, folding compute gaps and cache hits into
+*computation* time, and blocking (or, under WC, buffering) on everything
+else.  To keep the event count proportional to misses rather than
+references, runs of hits are batched: the processor advances its local
+time privately and re-synchronizes with the global event queue whenever
+it blocks or after ``config.quantum`` cycles — the same bounded-lookahead
+approach the Wisconsin Wind Tunnel used (its quantum was the 100-cycle
+network latency).  Every *blocking* operation is realigned to the exact
+cycle first, so stall accounting is precise.
+
+Stall attribution follows the paper's Figure 3 categories: the directory
+reports how long it waited for invalidation acknowledgments before
+responding (``inval_wait``), which becomes read/write *invalidation* time;
+the rest of a miss is read/write *other*; synchronization operations
+accumulate ``synch_wb`` (write-buffer drain), ``dsi`` (self-invalidation
+flush) and ``sync`` (lock/barrier waiting, including lock-word transfer).
+"""
+
+from repro.stats.breakdown import Breakdown
+from repro.trace.ops import OP_BARRIER, OP_LOCK, OP_READ, OP_UNLOCK, OP_WRITE
+
+
+class StampSource:
+    """Globally increasing write stamps (the simulated "data")."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self):
+        self._next = 0
+
+    def next(self):
+        self._next += 1
+        return self._next
+
+
+class Processor:
+    """One trace-driven CPU."""
+
+    def __init__(self, sim, config, node, controller, trace, locks, barrier, stamps):
+        self.sim = sim
+        self.node = node
+        self.controller = controller
+        self.trace = trace
+        self.locks = locks
+        self.barrier = barrier
+        self.stamps = stamps
+        self.block_shift = config.block_shift
+        self.hit_cycles = config.cache_hit_cycles
+        self.quantum = max(1, config.quantum)
+        self.breakdown = Breakdown()
+        self.idx = 0
+        self._gap_charged = False
+        self._stall_start = 0
+        self.finished = False
+        self.finish_time = None
+
+    def start(self):
+        self.sim.schedule(0, self._run)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _run(self):
+        sim = self.sim
+        ctrl = self.controller
+        breakdown = self.breakdown
+        trace = self.trace
+        gaps, kinds, addrs = trace.gaps, trace.kinds, trace.addrs
+        n_ops = len(kinds)
+        quantum = self.quantum
+        hit_cycles = self.hit_cycles
+        shift = self.block_shift
+        idx = self.idx
+        elapsed = 0
+        while True:
+            if idx >= n_ops:
+                self.idx = idx
+                if elapsed:
+                    sim.schedule(elapsed, self._run)
+                else:
+                    self._finish()
+                return
+            if not self._gap_charged:
+                gap = int(gaps[idx])
+                if gap:
+                    breakdown.compute += gap
+                    elapsed += gap
+                self._gap_charged = True
+                if elapsed >= quantum:
+                    self.idx = idx
+                    sim.schedule(elapsed, self._run)
+                    return
+            kind = kinds[idx]
+            if kind == OP_READ:
+                block = int(addrs[idx]) >> shift
+                if ctrl.try_read(block):
+                    breakdown.compute += hit_cycles
+                    elapsed += hit_cycles
+                    idx += 1
+                    self._gap_charged = False
+                    if elapsed >= quantum:
+                        self.idx = idx
+                        sim.schedule(elapsed, self._run)
+                        return
+                    continue
+                self.idx = idx
+                if elapsed:
+                    sim.schedule(elapsed, self._run)
+                    return
+                self._stall_start = sim.now
+                ctrl.read(block, self._read_done)
+                return
+            if kind == OP_WRITE:
+                block = int(addrs[idx]) >> shift
+                if ctrl.try_write(block, self.stamps.next()):
+                    breakdown.compute += hit_cycles
+                    elapsed += hit_cycles
+                    idx += 1
+                    self._gap_charged = False
+                    if elapsed >= quantum:
+                        self.idx = idx
+                        sim.schedule(elapsed, self._run)
+                        return
+                    continue
+                self.idx = idx
+                if elapsed:
+                    sim.schedule(elapsed, self._run)
+                    return
+                self._stall_start = sim.now
+                status = ctrl.write(block, self.stamps.next(), self._write_done)
+                if status == "wait":
+                    return
+                # WC: the write was buffered and its request issued.
+                breakdown.compute += hit_cycles
+                elapsed += hit_cycles
+                idx += 1
+                self._gap_charged = False
+                continue
+            # Synchronization operation: always realign first.
+            self.idx = idx
+            if elapsed:
+                sim.schedule(elapsed, self._run)
+                return
+            self._do_sync(int(kind), int(addrs[idx]))
+            return
+
+    # ------------------------------------------------------------------
+    # Completion callbacks
+    # ------------------------------------------------------------------
+    def _advance(self):
+        self.idx += 1
+        self._gap_charged = False
+        self.sim.schedule(0, self._run)
+
+    def _read_done(self, inval_wait, reason):
+        stall = self.sim.now - self._stall_start
+        breakdown = self.breakdown
+        if reason == "read_wb":
+            breakdown.read_wb += stall
+        else:
+            inval = min(inval_wait, stall)
+            breakdown.read_inval += inval
+            breakdown.read_other += stall - inval
+        self._advance()
+
+    def _write_done(self, inval_wait, reason):
+        stall = self.sim.now - self._stall_start
+        breakdown = self.breakdown
+        if reason == "wb_full":
+            breakdown.wb_full += stall
+        else:
+            inval = min(inval_wait, stall)
+            breakdown.write_inval += inval
+            breakdown.write_other += stall - inval
+        self._advance()
+
+    # ------------------------------------------------------------------
+    # Synchronization operations
+    # ------------------------------------------------------------------
+    def _do_sync(self, kind, addr):
+        sim = self.sim
+        breakdown = self.breakdown
+        drain_start = sim.now
+
+        def drained():
+            breakdown.synch_wb += sim.now - drain_start
+            flush_start = sim.now
+
+            def flushed():
+                breakdown.dsi += sim.now - flush_start
+                if kind == OP_LOCK:
+                    self._lock(addr)
+                elif kind == OP_UNLOCK:
+                    self._unlock(addr)
+                else:
+                    self._barrier(addr)
+
+            self.controller.flush_si(flushed)
+
+        self.controller.drain_wb(drained)
+
+    def _sync_write(self, block, done):
+        status = self.controller.sync_write(
+            block, self.stamps.next(), lambda _iw, _reason: done()
+        )
+        if status == "done":
+            done()
+
+    def _lock(self, addr):
+        sim = self.sim
+        start = sim.now
+        block = addr >> self.block_shift
+
+        def after_swap():
+            if self.locks.acquire(addr, self.node, granted):
+                self.breakdown.sync += sim.now - start
+                self._advance()
+
+        def granted():
+            # Handed the lock: the holder's release write invalidated our
+            # copy of the lock word, so swap it back in.
+            self._sync_write(block, finish)
+
+        def finish():
+            self.breakdown.sync += sim.now - start
+            self._advance()
+
+        self._sync_write(block, after_swap)
+
+    def _unlock(self, addr):
+        sim = self.sim
+        start = sim.now
+        block = addr >> self.block_shift
+
+        def after_release():
+            self.locks.release(addr, self.node)
+            self.breakdown.sync += sim.now - start
+            self._advance()
+
+        self._sync_write(block, after_release)
+
+    def _barrier(self, barrier_id):
+        sim = self.sim
+        start = sim.now
+
+        def released():
+            self.breakdown.sync += sim.now - start
+            self._advance()
+
+        self.barrier.arrive(self.node, barrier_id, released)
+
+    # ------------------------------------------------------------------
+    def _finish(self):
+        drain_start = self.sim.now
+
+        def drained():
+            self.breakdown.synch_wb += self.sim.now - drain_start
+            self.finished = True
+            self.finish_time = self.sim.now
+
+        self.controller.drain_wb(drained)
+
+    def deadlock_diagnostic(self):
+        if not self.finished:
+            return f"proc {self.node}: stopped at op {self.idx}/{len(self.trace)}"
+        return None

@@ -1,0 +1,122 @@
+"""Synchronization: swap-based queue locks and the hardware barrier.
+
+The paper assumes SPARC ``swap`` instructions and a hardware barrier (100
+cycles from the last arrival) are visible to the memory system (§5.1).
+
+Locks are modelled at the semantic level — acquisition order is FIFO —
+while their *coherence traffic* is produced by the processors: acquiring
+and releasing performs swap-like synchronous writes to the lock word, so
+contended lock blocks ping-pong between caches exactly as a test&set lock
+block would, without simulating unbounded spinning.
+"""
+
+from collections import deque
+
+from repro.errors import SimulationError
+
+
+class _LockState:
+    __slots__ = ("holder", "queue", "acquisitions", "contended")
+
+    def __init__(self):
+        self.holder = None
+        self.queue = deque()
+        self.acquisitions = 0
+        self.contended = 0
+
+
+class LockManager:
+    """FIFO queue locks keyed by lock-word address."""
+
+    def __init__(self):
+        self._locks = {}
+
+    def _state(self, addr):
+        state = self._locks.get(addr)
+        if state is None:
+            state = _LockState()
+            self._locks[addr] = state
+        return state
+
+    def acquire(self, addr, node, granted):
+        """Try to take the lock.  Returns True if acquired immediately;
+        otherwise queues and calls ``granted()`` when the lock is handed
+        over (the caller then re-fetches the lock block)."""
+        state = self._state(addr)
+        if state.holder is None:
+            state.holder = node
+            state.acquisitions += 1
+            return True
+        state.contended += 1
+        state.queue.append((node, granted))
+        return False
+
+    def release(self, addr, node):
+        """Release; hands the lock to the next FIFO waiter, if any."""
+        state = self._state(addr)
+        if state.holder != node:
+            raise SimulationError(
+                f"node {node} released lock {addr:#x} held by {state.holder}"
+            )
+        if state.queue:
+            next_node, granted = state.queue.popleft()
+            state.holder = next_node
+            state.acquisitions += 1
+            granted()
+        else:
+            state.holder = None
+
+    def holder(self, addr):
+        state = self._locks.get(addr)
+        return state.holder if state else None
+
+    def stats(self):
+        return {
+            addr: (state.acquisitions, state.contended)
+            for addr, state in self._locks.items()
+        }
+
+    def deadlock_diagnostic(self):
+        stuck = [
+            f"{addr:#x} held by {state.holder} with {len(state.queue)} waiting"
+            for addr, state in self._locks.items()
+            if state.queue
+        ]
+        if stuck:
+            return "locks: " + "; ".join(stuck[:4])
+        return None
+
+
+class BarrierManager:
+    """Hardware barrier: releases everyone ``latency`` cycles after the
+    last arrival."""
+
+    def __init__(self, sim, n_procs, latency):
+        self.sim = sim
+        self.n_procs = n_procs
+        self.latency = latency
+        self._waiting = []  # (node, barrier_id, callback)
+        self.episodes = 0
+
+    def arrive(self, node, barrier_id, released):
+        for waiting_node, _bid, _cb in self._waiting:
+            if waiting_node == node:
+                raise SimulationError(f"node {node} arrived at a barrier twice")
+        self._waiting.append((node, barrier_id, released))
+        if len(self._waiting) == self.n_procs:
+            ids = {bid for _n, bid, _cb in self._waiting}
+            if len(ids) > 1:
+                raise SimulationError(f"barrier id mismatch: {sorted(ids)}")
+            batch, self._waiting = self._waiting, []
+            self.episodes += 1
+            self.sim.schedule(self.latency, self._release, batch)
+
+    def _release(self, batch):
+        for _node, _bid, released in batch:
+            released()
+
+    def deadlock_diagnostic(self):
+        if self._waiting:
+            nodes = [node for node, _b, _c in self._waiting]
+            return f"barrier: {len(nodes)}/{self.n_procs} arrived (nodes {nodes[:8]})"
+        return None

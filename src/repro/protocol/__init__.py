@@ -1,0 +1,12 @@
+"""Cache-controller protocol FSMs (SC and WC variants with DSI hooks)."""
+
+from repro.protocol.controller import CacheController, MSHR_READ, MSHR_UPGRADE, MSHR_WRITE
+from repro.protocol.monitor import CoherenceMonitor
+
+__all__ = [
+    "CacheController",
+    "CoherenceMonitor",
+    "MSHR_READ",
+    "MSHR_UPGRADE",
+    "MSHR_WRITE",
+]

@@ -1,0 +1,669 @@
+"""The per-node cache controller.
+
+Bridges three worlds:
+
+* the **processor** (same node, function calls): ``read`` / ``write`` /
+  ``sync_write`` / ``drain_wb`` / ``flush_si``;
+* the **cache** (tags, LRU, s bits, versions);
+* the **network** (requests out, responses/invalidations in; every
+  incoming message occupies the controller for ``cache_ctrl_cycles``).
+
+Consistency-model behaviour:
+
+* Under **SC** every miss blocks the processor (the ``on_done`` callback
+  fires when the transaction completes, carrying the directory's measured
+  invalidation wait so the processor can split its stall into the paper's
+  read/write "invalidation" vs "other" categories).
+* Under **WC** writes flow through the 16-entry coalescing write buffer:
+  the processor continues immediately unless the buffer is full.  An entry
+  retires when the data has arrived *and* the directory's single forwarded
+  acknowledgment (ACK_DONE) is in.  Reads still stall; a read to a block
+  with an outstanding write miss waits for the data ("read wb").
+
+DSI behaviour: fills honour the response's ``si``/``tearoff`` flags, the
+configured mechanism decides when marked blocks die, and ``flush_si``
+implements the synchronization-point flush (tear-off blocks flash-clear in
+a single cycle; tracked blocks are walked serially and notified to the
+directory, the processor stalling until the last notification is
+injected).
+"""
+
+from repro.config import Consistency, IdentifyScheme
+from repro.core.identify import InvalidationHistory
+from repro.core.mechanisms import FifoMechanism, make_mechanism
+from repro.engine.resource import Resource
+from repro.errors import ProtocolError
+from repro.memory.cache import Cache, EXCLUSIVE, SHARED
+from repro.memory.write_buffer import WAIT_DATA, CoalescingWriteBuffer
+from repro.network.message import Message, MsgKind
+
+MSHR_READ = 0
+MSHR_WRITE = 1
+MSHR_UPGRADE = 2
+
+#: statuses returned to the processor
+HIT = "hit"
+DONE = "done"
+WAIT = "wait"
+
+
+class Mshr:
+    """One outstanding transaction at this cache."""
+
+    __slots__ = (
+        "kind",
+        "block",
+        "on_done",
+        "stamp",
+        "frame",
+        "read_waiters",
+        "sync",
+        "invalidated",
+        "issued_at",
+        "acks_pending",
+        "pending_write",
+    )
+
+    def __init__(self, kind, block, on_done=None, stamp=None, frame=None, sync=False):
+        self.kind = kind
+        self.block = block
+        self.on_done = on_done
+        self.stamp = stamp
+        self.frame = frame  # pinned frame (upgrades only)
+        self.read_waiters = []
+        self.sync = sync
+        self.invalidated = False
+        self.issued_at = 0
+        self.acks_pending = False
+        self.pending_write = None  # (stamp,) write arrived while a read was in flight
+
+
+class CacheController:
+    """Cache + controller + write buffer for one node."""
+
+    def __init__(self, sim, config, node, network, home_map, misses, monitor=None):
+        self.sim = sim
+        self.config = config
+        self.node = node
+        self.network = network
+        self.home_map = home_map
+        self.misses = misses
+        self.monitor = monitor
+        self.cache = Cache(config, node)
+        self.resource = Resource(sim, name=f"cc{node}")
+        self.mshrs = {}
+        self.write_buffer = (
+            CoalescingWriteBuffer(config.write_buffer_entries)
+            if config.consistency is Consistency.WC
+            else None
+        )
+        self.mechanism = make_mechanism(config, self.cache) if config.dsi_enabled else None
+        self._wc = config.consistency is Consistency.WC
+        self._send_versions = config.dsi_enabled
+        self._deferred_fills = []
+        # Cache-side identification (§3.1): mark fills of blocks this cache
+        # has seen repeatedly invalidated.
+        self.history = (
+            InvalidationHistory(config.cache_history_entries, config.cache_inval_threshold)
+            if config.identify is IdentifyScheme.CACHE
+            else None
+        )
+        # SC tear-off blocks (§3.3): at most one untracked copy, dropped at
+        # the next cache miss (Scheurich's condition).
+        self._sc_tearoff = config.sc_tearoff
+        self._tearoff_frame = None
+
+    # ------------------------------------------------------------------
+    # Processor interface
+    # ------------------------------------------------------------------
+    def try_read(self, block):
+        """Fast path: perform a read *hit* with no simulated latency beyond
+        the hit cost (which the processor folds into computation).  Returns
+        False on a miss without issuing anything."""
+        frame = self.cache.lookup(block)
+        if frame is None:
+            return False
+        if self.monitor:
+            self.monitor.on_read(self.node, block, frame.data)
+        self.misses.bump("read_hits")
+        return True
+
+    def try_write(self, block, stamp):
+        """Fast path: absorb a write that needs no transaction — an
+        exclusive hit, or (WC) a coalescing merge into an outstanding
+        entry.  Returns False otherwise, issuing nothing."""
+        frame = self.cache.lookup(block)
+        if frame is not None and frame.state == EXCLUSIVE:
+            self._apply_write(frame, stamp)
+            self.misses.bump("write_hits")
+            return True
+        if self._wc:
+            mshr = self.mshrs.get(block)
+            if mshr is not None:
+                if mshr.kind in (MSHR_WRITE, MSHR_UPGRADE):
+                    self.write_buffer.merge(block, stamp)
+                    mshr.stamp = stamp
+                    self.misses.bump("write_hits")
+                    return True
+                if mshr.pending_write is not None:
+                    self.write_buffer.merge(block, stamp)
+                    mshr.pending_write = (stamp,)
+                    self.misses.bump("write_hits")
+                    return True
+        return False
+
+    def read(self, block, on_done):
+        """Processor load.  Returns HIT, or WAIT (``on_done(inval_wait,
+        reason)`` fires later; reason is "miss" or "read_wb")."""
+        frame = self.cache.lookup(block)
+        if frame is not None:
+            if self.monitor:
+                self.monitor.on_read(self.node, block, frame.data)
+            self.misses.bump("read_hits")
+            return HIT
+        mshr = self.mshrs.get(block)
+        if mshr is not None:
+            if mshr.kind == MSHR_READ:
+                raise ProtocolError(f"second read issued for block {block}")
+            # Outstanding write miss: wait for the data ("read wb").
+            mshr.read_waiters.append(on_done)
+            return WAIT
+        self.misses.bump("read_misses")
+        self._drop_sc_tearoff()
+        mshr = Mshr(MSHR_READ, block, on_done=on_done)
+        mshr.issued_at = self.sim.now
+        self.mshrs[block] = mshr
+        self._issue(MsgKind.GETS, block)
+        return WAIT
+
+    def write(self, block, stamp, on_done):
+        """Processor store.
+
+        SC: returns DONE on an exclusive hit, else WAIT (``on_done`` at
+        completion).  WC: returns DONE whenever the write was absorbed
+        (hit, coalesced, or buffered); returns WAIT only when the write
+        buffer is full, with ``on_done(0, "wb_full")`` firing once the
+        write has been accepted.
+        """
+        frame = self.cache.lookup(block)
+        if frame is not None and frame.state == EXCLUSIVE:
+            self._apply_write(frame, stamp)
+            self.misses.bump("write_hits")
+            return DONE
+        if self._wc:
+            return self._wc_write(block, stamp, frame, on_done)
+        return self._sc_write(block, stamp, frame, on_done, sync=False)
+
+    def sync_write(self, block, stamp, on_done):
+        """A swap-like write (lock word): always synchronous, even under
+        WC — the processor stalls until the write is globally performed."""
+        frame = self.cache.lookup(block)
+        if frame is not None and frame.state == EXCLUSIVE:
+            self._apply_write(frame, stamp)
+            self.misses.bump("write_hits")
+            return DONE
+        return self._sc_write(block, stamp, frame, on_done, sync=True)
+
+    def _sc_write(self, block, stamp, frame, on_done, sync):
+        if block in self.mshrs:
+            raise ProtocolError(f"second blocking write issued for block {block}")
+        self.misses.bump("write_misses")
+        self._drop_sc_tearoff()
+        if frame is not None and frame.state == SHARED and not frame.tearoff:
+            mshr = Mshr(MSHR_UPGRADE, block, on_done=on_done, stamp=stamp, frame=frame, sync=sync)
+            frame.pinned = True
+            self.misses.bump("upgrades")
+            kind = MsgKind.UPGRADE
+        else:
+            if frame is not None:  # a tear-off copy is invisible to the map
+                self.cache.invalidate(frame)
+                if self.monitor:
+                    self.monitor.on_invalidate(self.node, block)
+            mshr = Mshr(MSHR_WRITE, block, on_done=on_done, stamp=stamp, sync=sync)
+            kind = MsgKind.GETX
+        mshr.issued_at = self.sim.now
+        self.mshrs[block] = mshr
+        self._issue(kind, block)
+        return WAIT
+
+    def _wc_write(self, block, stamp, frame, on_done):
+        mshr = self.mshrs.get(block)
+        if mshr is not None:
+            if mshr.kind in (MSHR_WRITE, MSHR_UPGRADE):
+                # Coalesce into the outstanding entry.
+                self.write_buffer.merge(block, stamp)
+                mshr.stamp = stamp
+                self.misses.bump("write_hits")
+                return DONE
+            # A read is in flight; remember the write, upgrade after the fill.
+            if mshr.pending_write is not None:
+                self.write_buffer.merge(block, stamp)
+                mshr.pending_write = (stamp,)
+                self.misses.bump("write_hits")
+                return DONE
+            if self.write_buffer.full:
+                self.write_buffer.when_space(lambda: self._wc_write_retry(block, stamp, on_done))
+                return WAIT
+            self.write_buffer.allocate(block, stamp, self.sim.now)
+            mshr.pending_write = (stamp,)
+            self.misses.bump("write_misses")
+            return DONE
+        if self.write_buffer.full:
+            self.write_buffer.when_space(lambda: self._wc_write_retry(block, stamp, on_done))
+            return WAIT
+        self.misses.bump("write_misses")
+        self.write_buffer.allocate(block, stamp, self.sim.now)
+        if frame is not None and frame.state == SHARED and not frame.tearoff:
+            mshr = Mshr(MSHR_UPGRADE, block, stamp=stamp, frame=frame)
+            frame.pinned = True
+            self.misses.bump("upgrades")
+            kind = MsgKind.UPGRADE
+        else:
+            if frame is not None:
+                self.cache.invalidate(frame)
+                if self.monitor:
+                    self.monitor.on_invalidate(self.node, block)
+            mshr = Mshr(MSHR_WRITE, block, stamp=stamp)
+            kind = MsgKind.GETX
+        mshr.issued_at = self.sim.now
+        self.mshrs[block] = mshr
+        self._issue(kind, block)
+        return DONE
+
+    def _wc_write_retry(self, block, stamp, on_done):
+        status = self.write(block, stamp, on_done)
+        if status == WAIT:
+            return  # re-queued on the buffer with the same on_done
+        on_done(0, "wb_full")
+
+    def drain_wb(self, on_done):
+        """Call ``on_done()`` once the write buffer is empty (immediately
+        under SC)."""
+        if self.write_buffer is None:
+            on_done()
+        else:
+            self.write_buffer.when_empty(on_done)
+
+    # ------------------------------------------------------------------
+    # Self-invalidation
+    # ------------------------------------------------------------------
+    def flush_si(self, on_done):
+        """Self-invalidate marked blocks at a synchronization point."""
+        if self.mechanism is None:
+            on_done()
+            return
+        frames = [f for f in self.mechanism.sync_frames() if f.valid and not f.pinned]
+        if not frames:
+            on_done()
+            return
+        tearoff_frames = [f for f in frames if f.tearoff]
+        tracked = [f for f in frames if not f.tearoff]
+        self.misses.bump("self_invalidations", len(frames))
+        cost = 1 if tearoff_frames else 0
+        cost += len(tracked) * self.config.si_flush_cycles_per_block
+        notices = []
+        for frame in tearoff_frames:
+            if self.monitor:
+                self.monitor.on_invalidate(self.node, frame.tag)
+            self.cache.invalidate(frame)
+        for frame in tracked:
+            notices.append(self._si_notice(frame))
+            if self.monitor:
+                self.monitor.on_invalidate(self.node, frame.tag)
+            self.cache.invalidate(frame)
+        self.resource.submit(cost, self._flush_send, notices, on_done)
+
+    def _si_notice(self, frame):
+        block = frame.tag
+        dirty = frame.dirty
+        return Message(
+            MsgKind.SI_NOTIFY,
+            block,
+            src=self.node,
+            dst=self.home_map.home_of(block),
+            data=frame.data,
+            si_marked=True,
+            dirty=dirty,
+            carries_data=dirty,
+        )
+
+    def _flush_send(self, notices, on_done):
+        if not notices:
+            on_done()
+            return
+        remaining = [len(notices)]
+
+        def injected():
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                on_done()
+
+        for msg in notices:
+            self.network.send(msg, on_injected=injected)
+
+    def _self_invalidate_now(self, frame):
+        """FIFO overflow: invalidate one block immediately (no stall)."""
+        if not frame.valid or frame.pinned:
+            return
+        self.misses.bump("self_invalidations")
+        notice = None if frame.tearoff else self._si_notice(frame)
+        if self.monitor:
+            self.monitor.on_invalidate(self.node, frame.tag)
+        self.cache.invalidate(frame)
+        if notice is not None:
+            self.resource.submit(
+                self.config.si_flush_cycles_per_block,
+                self.network.send,
+                notice,
+            )
+
+    # ------------------------------------------------------------------
+    # Outgoing requests
+    # ------------------------------------------------------------------
+    def _issue(self, kind, block):
+        version = self.cache.stored_version(block) if self._send_versions else None
+        msg = Message(
+            kind,
+            block,
+            src=self.node,
+            dst=self.home_map.home_of(block),
+            version=version,
+        )
+        self.resource.submit(self.config.cache_ctrl_cycles, self.network.send, msg)
+
+    # ------------------------------------------------------------------
+    # Incoming messages
+    # ------------------------------------------------------------------
+    def receive(self, msg):
+        self.resource.submit(self.config.cache_ctrl_cycles, self._process, msg)
+
+    def _process(self, msg):
+        kind = msg.kind
+        if kind is MsgKind.DATA:
+            self._handle_data(msg)
+        elif kind is MsgKind.DATA_EX:
+            self._handle_data_ex(msg)
+        elif kind is MsgKind.UPGRADE_ACK:
+            self._handle_upgrade_ack(msg)
+        elif kind is MsgKind.ACK_DONE:
+            self._handle_ack_done(msg)
+        elif kind is MsgKind.INV:
+            self._handle_inv(msg)
+        else:
+            raise ProtocolError(f"cache {self.node} received unexpected {msg!r}")
+
+    def _handle_data(self, msg):
+        mshr = self.mshrs.pop(msg.block, None)
+        if mshr is None or mshr.kind != MSHR_READ:
+            raise ProtocolError(f"DATA for block {msg.block} without a read MSHR")
+        self._fill(
+            msg.block,
+            SHARED,
+            msg.data,
+            version=msg.version,
+            si=msg.si,
+            tearoff=msg.tearoff,
+            then=lambda frame: self._read_complete(mshr, msg, frame),
+        )
+
+    def _read_complete(self, mshr, msg, frame):
+        if self.monitor:
+            self.monitor.on_read(self.node, msg.block, frame.data)
+        if mshr.on_done is not None:
+            mshr.on_done(msg.inval_wait, "miss")
+        if mshr.pending_write is not None:
+            # A WC write arrived while the read was in flight: upgrade now.
+            (stamp,) = mshr.pending_write
+            if frame.state == EXCLUSIVE:
+                # Migratory grant: the copy is already exclusive.
+                self._apply_write(frame, stamp)
+                if self.write_buffer is not None and self.write_buffer.get(msg.block) is not None:
+                    self.write_buffer.mark_data_arrived(msg.block)
+                    self.write_buffer.retire(msg.block)
+                return
+            if frame.tearoff:
+                # A tear-off copy is invisible to the full map; request a
+                # fresh exclusive copy instead of upgrading.
+                if self.monitor:
+                    self.monitor.on_invalidate(self.node, msg.block)
+                self.cache.invalidate(frame)
+                follow_on = Mshr(MSHR_WRITE, msg.block, stamp=stamp)
+                kind = MsgKind.GETX
+            else:
+                follow_on = Mshr(MSHR_UPGRADE, msg.block, stamp=stamp, frame=frame)
+                frame.pinned = True
+                self.misses.bump("upgrades")
+                kind = MsgKind.UPGRADE
+            follow_on.issued_at = self.sim.now
+            self.mshrs[msg.block] = follow_on
+            self._issue(kind, msg.block)
+
+    def _handle_data_ex(self, msg):
+        mshr = self.mshrs.get(msg.block)
+        if mshr is None:
+            raise ProtocolError(f"DATA_EX for block {msg.block} without an MSHR")
+        if mshr.kind == MSHR_READ:
+            # Migratory optimization: the directory answered a read with an
+            # exclusive (clean) copy, anticipating the write to follow.
+            self.mshrs.pop(msg.block)
+            self._fill(
+                msg.block,
+                EXCLUSIVE,
+                msg.data,
+                version=msg.version,
+                si=msg.si,
+                dirty=False,
+                then=lambda frame: self._read_complete(mshr, msg, frame),
+            )
+            return
+        if mshr.kind == MSHR_UPGRADE and mshr.frame is not None:
+            mshr.frame.pinned = False
+            if mshr.frame.valid and mshr.frame.tag == msg.block:
+                # Defensive: the S copy survived but the directory answered
+                # with data anyway; drop it before re-filling.
+                if self.monitor:
+                    self.monitor.on_invalidate(self.node, msg.block)
+                self.cache.invalidate(mshr.frame)
+            self.retry_deferred_fills()
+        self._fill(
+            msg.block,
+            EXCLUSIVE,
+            mshr.stamp,
+            version=msg.version,
+            si=msg.si,
+            dirty=True,
+            then=lambda frame: self._write_granted(mshr, msg, frame),
+        )
+
+    def _handle_upgrade_ack(self, msg):
+        mshr = self.mshrs.get(msg.block)
+        if mshr is None or mshr.kind != MSHR_UPGRADE:
+            raise ProtocolError(f"UPGRADE_ACK for block {msg.block} without an upgrade MSHR")
+        if mshr.invalidated:
+            raise ProtocolError(
+                f"UPGRADE_ACK for block {msg.block} after its copy was invalidated"
+            )
+        frame = mshr.frame
+        frame.pinned = False
+        self.retry_deferred_fills()
+        frame.state = EXCLUSIVE
+        frame.version = msg.version
+        if self.monitor:
+            self.monitor.on_fill(self.node, msg.block, EXCLUSIVE, frame.data, False)
+        self._apply_write(frame, mshr.stamp)
+        if msg.si:
+            self.cache.mark_si(frame)
+            self._after_si_fill(frame)
+        else:
+            self.cache.mark_si(frame, marked=False)
+        self._write_granted(mshr, msg, frame)
+
+    def _write_granted(self, mshr, msg, frame):
+        if self.monitor and msg.kind is not MsgKind.UPGRADE_ACK:
+            self.monitor.on_write(self.node, msg.block, frame.data)
+        for waiter in mshr.read_waiters:
+            waiter(0, "read_wb")
+        mshr.read_waiters = []
+        if msg.acks_pending:
+            mshr.acks_pending = True
+            if self.write_buffer is not None:
+                self.write_buffer.mark_data_arrived(msg.block)
+            return
+        self._write_complete(mshr, msg.inval_wait)
+
+    def _write_complete(self, mshr, inval_wait):
+        self.mshrs.pop(mshr.block, None)
+        if self.write_buffer is not None and self.write_buffer.get(mshr.block) is not None:
+            self.write_buffer.mark_data_arrived(mshr.block)
+            self.write_buffer.retire(mshr.block)
+        if mshr.on_done is not None:
+            mshr.on_done(inval_wait, "miss")
+
+    def _handle_ack_done(self, msg):
+        mshr = self.mshrs.get(msg.block)
+        if mshr is None or not mshr.acks_pending:
+            raise ProtocolError(f"ACK_DONE for block {msg.block} without a waiting MSHR")
+        self._write_complete(mshr, 0)
+
+    def _handle_inv(self, msg):
+        block = msg.block
+        frame = self.cache.lookup(block, touch=False)
+        mshr = self.mshrs.get(block)
+        if frame is None:
+            # The copy already left (replacement or self-invalidation in
+            # flight).  Acknowledge anyway so the directory can make progress.
+            self._reply(MsgKind.INV_ACK, msg)
+            return
+        self.misses.bump("explicit_invalidations")
+        if self.history is not None:
+            self.history.record(block)
+        # A migratory (clean) exclusive copy acknowledges without data —
+        # the directory still holds the current contents.
+        dirty = frame.dirty
+        data = frame.data
+        if self.monitor:
+            self.monitor.on_invalidate(self.node, block)
+        self.cache.invalidate(frame)
+        if mshr is not None and mshr.kind == MSHR_UPGRADE:
+            mshr.invalidated = True  # the directory will answer with DATA_EX
+        if dirty:
+            self._reply(MsgKind.INV_ACK_DATA, msg, data=data, dirty=True)
+        else:
+            self._reply(MsgKind.INV_ACK, msg)
+
+    def _reply(self, kind, msg, data=0, dirty=False):
+        self.network.send(
+            Message(
+                kind,
+                msg.block,
+                src=self.node,
+                dst=msg.src,
+                data=data,
+                dirty=dirty,
+                carries_data=dirty,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Fills, evictions, writes
+    # ------------------------------------------------------------------
+    def _apply_write(self, frame, stamp):
+        frame.data = stamp
+        frame.dirty = True
+        if self.monitor:
+            self.monitor.on_write(self.node, frame.tag, stamp)
+
+    def _fill(self, block, state, data, version=None, si=False, tearoff=False, dirty=False, then=None):
+        if not si and self.history is not None and self.history.should_mark(block):
+            # Cache-side identification: this block keeps getting
+            # invalidated under us — mark it ourselves.
+            si = True
+        frame, victim = self.cache.fill(
+            block, state, data, version=version, s_bit=si, tearoff=tearoff, dirty=dirty
+        )
+        if frame is None:
+            # Every frame in the set is pinned; retry when a pin releases.
+            self._deferred_fills.append(
+                (block, state, data, version, si, tearoff, dirty, then)
+            )
+            return
+        if victim is not None:
+            self._evict(victim)
+        if self.monitor:
+            self.monitor.on_fill(self.node, block, state, data, tearoff)
+        if tearoff and self._sc_tearoff:
+            # SC allows at most one tear-off copy per cache (§3.3).
+            self._drop_sc_tearoff()
+            self._tearoff_frame = (frame, block)
+        if si:
+            self._after_si_fill(frame)
+        if then is not None:
+            then(frame)
+
+    def _drop_sc_tearoff(self):
+        """Scheurich's condition: the (single) SC tear-off copy must be
+        invalidated at the next cache miss."""
+        if self._tearoff_frame is None:
+            return
+        frame, block = self._tearoff_frame
+        self._tearoff_frame = None
+        if frame.valid and frame.tearoff and frame.tag == block:
+            if self.monitor:
+                self.monitor.on_invalidate(self.node, block)
+            self.misses.bump("self_invalidations")
+            self.cache.invalidate(frame)
+
+    def _after_si_fill(self, frame):
+        self.misses.bump("si_marked_fills")
+        if frame.tearoff:
+            self.misses.bump("tearoff_fills")
+        overflow = self.mechanism.on_si_fill(frame)
+        if overflow is not None:
+            self.misses.bump("fifo_overflows")
+            self._self_invalidate_now(overflow)
+
+    def retry_deferred_fills(self):
+        """Re-attempt fills that found every frame pinned."""
+        pending, self._deferred_fills = self._deferred_fills, []
+        for block, state, data, version, si, tearoff, dirty, then in pending:
+            self._fill(block, state, data, version=version, si=si, tearoff=tearoff, dirty=dirty, then=then)
+
+    def _evict(self, victim):
+        self.misses.bump("replacements")
+        if victim.tearoff:
+            return  # untracked: vanishes silently
+        if self.monitor:
+            self.monitor.on_invalidate(self.node, victim.block)
+        home = self.home_map.home_of(victim.block)
+        if victim.dirty:
+            self.network.send(
+                Message(
+                    MsgKind.WB,
+                    victim.block,
+                    src=self.node,
+                    dst=home,
+                    data=victim.data,
+                    si_marked=victim.s_bit,
+                    dirty=True,
+                    carries_data=True,
+                )
+            )
+        else:
+            self.network.send(
+                Message(
+                    MsgKind.REPL,
+                    victim.block,
+                    src=self.node,
+                    dst=home,
+                    si_marked=victim.s_bit,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def deadlock_diagnostic(self):
+        if self.mshrs:
+            blocks = list(self.mshrs)[:8]
+            return f"cache{self.node}: outstanding MSHRs for blocks {blocks}"
+        if self.write_buffer is not None and not self.write_buffer.empty:
+            return f"cache{self.node}: write buffer not drained"
+        return None

@@ -1,0 +1,120 @@
+"""Runtime coherence invariant checking.
+
+When ``SystemConfig.check_invariants`` is on, every cache controller
+reports fills, invalidations, reads and writes to a shared
+:class:`CoherenceMonitor`, which asserts:
+
+* **Single writer** — never two exclusive copies of one block.
+* **SWMR** (strict mode / SC) — an exclusive copy never coexists with a
+  *tracked* shared copy elsewhere.  Under WC the parallel grant makes
+  stale shared copies legal until their invalidations land, so only the
+  single-writer half is enforced; tear-off copies are exempt by design.
+* **Write ownership** — only the exclusive holder writes.
+* **Per-processor coherence order** — coherence totally orders the writes
+  to each location (the order they are *performed* with exclusivity, not
+  the order they were issued); every processor's reads of that location
+  must observe a non-decreasing position in that order.  Stamps are not
+  compared by value: racing writes may legally complete out of issue
+  order.
+* **Data integrity** — a read never returns a value that was never
+  written to that block.
+
+These checks cost time and are meant for tests, not benchmarks.
+"""
+
+from repro.config import Consistency
+from repro.errors import ProtocolError
+from repro.memory.cache import EXCLUSIVE, SHARED
+
+
+class CoherenceMonitor:
+    """Cross-cache invariant checker (strict = sequential consistency)."""
+
+    def __init__(self, config):
+        self.strict = config.consistency is Consistency.SC
+        self.owners = {}  # block -> node
+        self.sharers = {}  # block -> set of nodes (tracked copies)
+        self.tearoffs = {}  # block -> set of nodes (untracked copies)
+        self.last_seen = {}  # (node, block) -> last observed write-order index
+        self._write_index = {}  # block -> {stamp: position in coherence order}
+        self._write_count = {}  # block -> number of writes performed
+        self.violations = 0
+
+    # ------------------------------------------------------------------
+    def on_fill(self, node, block, state, data, tearoff):
+        if tearoff:
+            self.tearoffs.setdefault(block, set()).add(node)
+            return
+        if state == EXCLUSIVE:
+            owner = self.owners.get(block)
+            if owner is not None and owner != node:
+                self._fail(f"two exclusive copies of block {block}: nodes {owner} and {node}")
+            if self.strict:
+                others = self.sharers.get(block, set()) - {node}
+                if others:
+                    self._fail(
+                        f"exclusive fill of block {block} at node {node} while "
+                        f"shared at {sorted(others)} (SWMR)"
+                    )
+            self.owners[block] = node
+            self.sharers.get(block, set()).discard(node)
+        elif state == SHARED:
+            if self.strict and self.owners.get(block) is not None:
+                self._fail(
+                    f"shared fill of block {block} at node {node} while node "
+                    f"{self.owners[block]} holds it exclusive (SWMR)"
+                )
+            self.sharers.setdefault(block, set()).add(node)
+        else:
+            raise ProtocolError(f"fill with invalid state {state}")
+
+    def on_invalidate(self, node, block):
+        if self.owners.get(block) == node:
+            del self.owners[block]
+        self.sharers.get(block, set()).discard(node)
+        self.tearoffs.get(block, set()).discard(node)
+
+    def on_write(self, node, block, stamp):
+        owner = self.owners.get(block)
+        if owner != node:
+            self._fail(f"node {node} wrote block {block} owned by {owner}")
+        position = self._write_count.get(block, 0) + 1
+        self._write_count[block] = position
+        self._write_index.setdefault(block, {})[stamp] = position
+        self._observe(node, block, stamp)
+
+    def on_read(self, node, block, stamp):
+        self._observe(node, block, stamp)
+
+    def _observe(self, node, block, stamp):
+        if stamp == 0:
+            position = 0  # initial (never-written) contents
+        else:
+            position = self._write_index.get(block, {}).get(stamp)
+            if position is None:
+                self._fail(
+                    f"node {node} observed stamp {stamp} for block {block}, "
+                    "which was never written there (data integrity violated)"
+                )
+                return
+        key = (node, block)
+        previous = self.last_seen.get(key, 0)
+        if position < previous:
+            self._fail(
+                f"node {node} observed write #{position} of block {block} after "
+                f"already seeing write #{previous} (coherence order violated)"
+            )
+        self.last_seen[key] = position
+
+    def _fail(self, message):
+        self.violations += 1
+        raise ProtocolError(message)
+
+    # ------------------------------------------------------------------
+    def holders(self, block):
+        """Current (owner, tracked sharers, tear-off holders) of a block."""
+        return (
+            self.owners.get(block),
+            set(self.sharers.get(block, set())),
+            set(self.tearoffs.get(block, set())),
+        )

@@ -1,0 +1,15 @@
+"""Statistics: message counters and execution-time breakdowns."""
+
+from repro.stats.breakdown import Breakdown, CATEGORIES
+from repro.stats.counters import MessageCounters, MissCounters
+from repro.stats.report import RunResult, format_breakdown_table, format_table
+
+__all__ = [
+    "Breakdown",
+    "CATEGORIES",
+    "MessageCounters",
+    "MissCounters",
+    "RunResult",
+    "format_breakdown_table",
+    "format_table",
+]

@@ -1,0 +1,80 @@
+"""Event counters: messages by kind, cache events, DSI events."""
+
+from collections import Counter
+
+
+class MessageCounters:
+    """Counts every message, split into network (inter-node) and local
+    (cache <-> co-resident home directory) traffic.
+
+    Table 3 of the paper reports *network* messages; the invalidation
+    column is the count of INV messages.
+    """
+
+    __slots__ = ("network", "local", "data_blocks_sent")
+
+    def __init__(self):
+        self.network = Counter()
+        self.local = Counter()
+        self.data_blocks_sent = 0
+
+    def count(self, kind_name, is_network, carries_data):
+        if is_network:
+            self.network[kind_name] += 1
+        else:
+            self.local[kind_name] += 1
+        if carries_data and is_network:
+            self.data_blocks_sent += 1
+
+    def total_network(self):
+        return sum(self.network.values())
+
+    def invalidations(self):
+        """Explicit invalidation messages sent over the network."""
+        return self.network.get("INV", 0)
+
+    def acknowledgments(self):
+        return self.network.get("INV_ACK", 0) + self.network.get("INV_ACK_DATA", 0)
+
+    def as_dict(self):
+        return {
+            "network": dict(self.network),
+            "local": dict(self.local),
+            "total_network": self.total_network(),
+            "invalidations": self.invalidations(),
+        }
+
+
+class MissCounters:
+    """Cache-side event counts (aggregated over all processors)."""
+
+    __slots__ = (
+        "read_hits",
+        "read_misses",
+        "write_hits",
+        "write_misses",
+        "upgrades",
+        "replacements",
+        "self_invalidations",
+        "tearoff_fills",
+        "si_marked_fills",
+        "misses_after_self_inval",
+        "fifo_overflows",
+        "explicit_invalidations",
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def bump(self, name, amount=1):
+        setattr(self, name, getattr(self, name) + amount)
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def miss_rate(self):
+        accesses = self.read_hits + self.read_misses + self.write_hits + self.write_misses
+        if accesses == 0:
+            return 0.0
+        return (self.read_misses + self.write_misses) / accesses

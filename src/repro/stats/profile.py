@@ -1,0 +1,153 @@
+"""Static sharing-pattern analysis of a program (no simulation).
+
+:func:`analyze_program` walks the traces and summarises the properties
+that determine coherence behaviour — per-block reader/writer sets,
+sharing degree, producer/consumer vs migratory ratios, working sets,
+synchronization density.  The workload generators are validated against
+the paper's Table-1 descriptions with these profiles, and
+``dsi-sim describe --workload X`` prints them.
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.stats.report import format_table
+from repro.trace.ops import OP_BARRIER, OP_LOCK, OP_READ, OP_UNLOCK, OP_WRITE
+
+
+class ProgramProfile:
+    """Summary statistics of one program's sharing pattern."""
+
+    def __init__(self, program, block_shift=5):
+        self.name = program.name
+        self.n_procs = program.n_procs
+        self.block_shift = block_shift
+        self.total_ops = 0
+        self.reads = 0
+        self.writes = 0
+        self.locks = 0
+        self.barriers = program.traces[0].barrier_count()
+        self.compute_cycles = 0
+        self.readers = {}  # block -> set of procs
+        self.writers = {}  # block -> set of procs
+        self.proc_blocks = [set() for _ in range(program.n_procs)]
+        self._walk(program)
+
+    def _walk(self, program):
+        shift = self.block_shift
+        for proc, trace in enumerate(program.traces):
+            self.total_ops += len(trace)
+            self.compute_cycles += trace.total_compute()
+            kinds = trace.kinds
+            addrs = trace.addrs
+            read_blocks = set(
+                (addrs[kinds == OP_READ] >> shift).tolist()
+            )
+            # Lock words are swapped (read-modify-written) by their users.
+            write_blocks = set(
+                (addrs[(kinds == OP_WRITE) | (kinds == OP_LOCK) | (kinds == OP_UNLOCK)] >> shift).tolist()
+            )
+            self.reads += int(np.count_nonzero(kinds == OP_READ))
+            self.writes += int(np.count_nonzero(kinds == OP_WRITE))
+            self.locks += int(np.count_nonzero(kinds == OP_LOCK))
+            for block in read_blocks:
+                self.readers.setdefault(block, set()).add(proc)
+            for block in write_blocks:
+                self.writers.setdefault(block, set()).add(proc)
+            self.proc_blocks[proc] |= read_blocks | write_blocks
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def blocks(self):
+        """Every block the program touches."""
+        return set(self.readers) | set(self.writers)
+
+    def shared_blocks(self):
+        """Blocks touched by more than one processor."""
+        return {
+            block
+            for block in self.blocks()
+            if len(self.readers.get(block, set()) | self.writers.get(block, set())) > 1
+        }
+
+    def sharing_degree(self):
+        """Histogram: number of processors touching each block."""
+        histogram = Counter()
+        for block in self.blocks():
+            touching = self.readers.get(block, set()) | self.writers.get(block, set())
+            histogram[len(touching)] += 1
+        return dict(histogram)
+
+    def producer_consumer_blocks(self):
+        """Blocks with exactly one writer and at least one other reader."""
+        out = set()
+        for block, writers in self.writers.items():
+            if len(writers) != 1:
+                continue
+            others = self.readers.get(block, set()) - writers
+            if others:
+                out.add(block)
+        return out
+
+    def migratory_blocks(self):
+        """Blocks written by more than one processor."""
+        return {block for block, writers in self.writers.items() if len(writers) > 1}
+
+    def working_set_bytes(self, proc):
+        return len(self.proc_blocks[proc]) << self.block_shift
+
+    def max_working_set(self):
+        return max(self.working_set_bytes(p) for p in range(self.n_procs))
+
+    def sync_density(self):
+        """Synchronization operations per thousand memory references."""
+        refs = self.reads + self.writes
+        if refs == 0:
+            return 0.0
+        return 1000.0 * (self.locks * 2 + self.barriers * self.n_procs) / refs
+
+    def shared_fraction(self):
+        total = len(self.blocks())
+        if total == 0:
+            return 0.0
+        return len(self.shared_blocks()) / total
+
+    # ------------------------------------------------------------------
+    def summary(self):
+        return {
+            "name": self.name,
+            "n_procs": self.n_procs,
+            "total_ops": self.total_ops,
+            "reads": self.reads,
+            "writes": self.writes,
+            "locks": self.locks,
+            "barriers": self.barriers,
+            "blocks": len(self.blocks()),
+            "shared_blocks": len(self.shared_blocks()),
+            "shared_fraction": round(self.shared_fraction(), 3),
+            "producer_consumer_blocks": len(self.producer_consumer_blocks()),
+            "migratory_blocks": len(self.migratory_blocks()),
+            "max_working_set_kb": self.max_working_set() // 1024,
+            "sync_per_kiloref": round(self.sync_density(), 2),
+        }
+
+    def format(self):
+        rows = [[key, value] for key, value in self.summary().items()]
+        lines = [format_table(["property", "value"], rows, title=f"profile: {self.name}")]
+        degree_rows = sorted(self.sharing_degree().items())
+        lines.append("")
+        lines.append(
+            format_table(
+                ["processors touching", "blocks"],
+                degree_rows,
+                title="sharing degree",
+            )
+        )
+        return "\n".join(lines)
+
+
+def analyze_program(program, block_shift=5):
+    """Build a :class:`ProgramProfile` for a program."""
+    return ProgramProfile(program, block_shift=block_shift)

@@ -1,0 +1,134 @@
+"""Run results and plain-text table formatting for the harness."""
+
+from repro.stats.breakdown import CATEGORIES, Breakdown
+
+
+class RunResult:
+    """Everything measured in one simulation run."""
+
+    __slots__ = (
+        "label",
+        "workload",
+        "exec_time",
+        "per_proc_time",
+        "breakdowns",
+        "messages",
+        "misses",
+        "events_fired",
+        "dir_busy_cycles",
+        "ni_busy_cycles",
+    )
+
+    def __init__(
+        self,
+        label,
+        workload,
+        exec_time,
+        per_proc_time,
+        breakdowns,
+        messages,
+        misses,
+        events_fired,
+        dir_busy_cycles=0,
+        ni_busy_cycles=0,
+    ):
+        self.label = label
+        self.workload = workload
+        self.exec_time = exec_time
+        self.per_proc_time = per_proc_time
+        self.breakdowns = breakdowns
+        self.messages = messages
+        self.misses = misses
+        self.events_fired = events_fired
+        self.dir_busy_cycles = dir_busy_cycles
+        self.ni_busy_cycles = ni_busy_cycles
+
+    def dir_occupancy(self):
+        """Mean directory-controller utilisation across the machine.
+
+        Table 3's discussion: eliminating messages reduces directory
+        occupancy "by the same amount" to first order — this lets the
+        harness check that claim directly.
+        """
+        if self.exec_time == 0 or not self.per_proc_time:
+            return 0.0
+        return self.dir_busy_cycles / (self.exec_time * len(self.per_proc_time))
+
+    def aggregate_breakdown(self):
+        total = Breakdown()
+        for breakdown in self.breakdowns:
+            total.merge(breakdown)
+        return total
+
+    def normalized_to(self, base):
+        """Execution time normalized to a baseline run."""
+        if base.exec_time == 0:
+            return 0.0
+        return self.exec_time / base.exec_time
+
+    def summary(self):
+        agg = self.aggregate_breakdown()
+        return {
+            "label": self.label,
+            "workload": self.workload,
+            "exec_time": self.exec_time,
+            "messages": self.messages.total_network(),
+            "invalidations": self.messages.invalidations(),
+            "miss_rate": self.misses.miss_rate(),
+            "breakdown": agg.as_dict(),
+        }
+
+
+def format_table(headers, rows, title=None):
+    """Render a plain-text table with right-aligned numeric columns."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[i]) if _numeric(row[i]) else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_breakdown_table(results, base=None, title=None):
+    """One row per run: normalized time plus category fractions.
+
+    ``base`` defaults to the first result; normalization is relative to it.
+    """
+    if not results:
+        return title or ""
+    base = base or results[0]
+    headers = ["run", "norm_time"] + list(CATEGORIES)
+    rows = []
+    for result in results:
+        fractions = result.aggregate_breakdown().fractions()
+        norm = result.normalized_to(base)
+        rows.append(
+            [result.label, f"{norm:.3f}"] + [f"{fractions[c]:.3f}" for c in CATEGORIES]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _numeric(text):
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

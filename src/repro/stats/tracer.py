@@ -1,0 +1,112 @@
+"""Protocol event tracing.
+
+A :class:`MessageTracer` attached to a machine records every message the
+network carries — timestamp, kind, endpoints, block, flags — optionally
+filtered to a block set.  Useful for debugging protocol behaviour and for
+teaching: ``dsi-sim run --show-trace 40`` prints the first messages of a
+run, and :meth:`MessageTracer.block_history` reconstructs one block's
+whole coherence life.
+"""
+
+from repro.stats.report import format_table
+
+
+class TraceEvent:
+    """One recorded message."""
+
+    __slots__ = ("time", "kind", "src", "dst", "block", "flags", "local")
+
+    def __init__(self, time, kind, src, dst, block, flags, local):
+        self.time = time
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.block = block
+        self.flags = flags
+        self.local = local
+
+    def row(self):
+        path = f"{self.src}->{self.dst}" + (" (local)" if self.local else "")
+        return [self.time, self.kind, path, self.block, self.flags]
+
+    def __repr__(self):
+        return f"TraceEvent({self.time}, {self.kind}, {self.src}->{self.dst}, blk={self.block})"
+
+
+class MessageTracer:
+    """Records messages as they are sent.
+
+    Parameters
+    ----------
+    blocks:
+        Optional iterable of block numbers; only messages for these blocks
+        are recorded.
+    limit:
+        Stop recording after this many events (0 = unlimited).
+    """
+
+    def __init__(self, blocks=None, limit=0):
+        self.blocks = set(blocks) if blocks is not None else None
+        self.limit = limit
+        self.events = []
+
+    @property
+    def full(self):
+        return self.limit and len(self.events) >= self.limit
+
+    def record(self, time, msg, is_local):
+        if self.full:
+            return
+        if self.blocks is not None and msg.block not in self.blocks:
+            return
+        flags = []
+        if msg.si:
+            flags.append("si")
+        if msg.tearoff:
+            flags.append("tearoff")
+        if msg.dirty:
+            flags.append("dirty")
+        if msg.acks_pending:
+            flags.append("acks_pending")
+        if msg.version is not None and msg.kind.name in ("GETS", "GETX", "UPGRADE"):
+            flags.append(f"v{msg.version}")
+        self.events.append(
+            TraceEvent(
+                time,
+                msg.kind.name,
+                msg.src,
+                msg.dst,
+                msg.block,
+                ",".join(flags),
+                is_local,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def block_history(self, block):
+        """Every recorded event touching one block, in time order."""
+        return [e for e in self.events if e.block == block]
+
+    def between(self, src, dst):
+        """Events on one directed channel."""
+        return [e for e in self.events if e.src == src and e.dst == dst]
+
+    def format(self, limit=None):
+        rows = [event.row() for event in self.events[: limit or len(self.events)]]
+        return format_table(["time", "message", "path", "block", "flags"], rows)
+
+    def __len__(self):
+        return len(self.events)
+
+
+def attach_tracer(machine, tracer):
+    """Wrap the machine's network so every send is recorded."""
+    network = machine.network
+    original_send = network.send
+
+    def traced_send(msg, on_injected=None):
+        tracer.record(network.sim.now, msg, msg.src == msg.dst)
+        return original_send(msg, on_injected=on_injected)
+
+    network.send = traced_send
+    return tracer

@@ -1,0 +1,125 @@
+"""Machine assembly: wire processors, caches, directories and the network
+into one simulated multiprocessor and run a program on it.
+
+This is the main entry point of the library::
+
+    from repro import Machine, SystemConfig, workloads
+
+    program = workloads.em3d(n_procs=32)
+    result = Machine(SystemConfig(n_processors=32), program).run()
+    print(result.exec_time, result.aggregate_breakdown().as_dict())
+"""
+
+from repro.config import SystemConfig
+from repro.core.identify import make_policy
+from repro.directory.controller import DirectoryController
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigError, SimulationError
+from repro.memory.address import RoundRobinHome, SegmentHome
+from repro.network.network import Network
+from repro.processor.cpu import Processor, StampSource
+from repro.processor.sync import BarrierManager, LockManager
+from repro.protocol.controller import CacheController
+from repro.protocol.monitor import CoherenceMonitor
+from repro.stats.counters import MessageCounters, MissCounters
+from repro.stats.report import RunResult
+
+
+class Machine:
+    """A complete simulated multiprocessor bound to one program."""
+
+    def __init__(self, config, program, network_cls=Network):
+        if not isinstance(config, SystemConfig):
+            raise ConfigError("config must be a SystemConfig")
+        if program.n_procs != config.n_processors:
+            raise ConfigError(
+                f"program has {program.n_procs} processors but the machine is "
+                f"configured for {config.n_processors}"
+            )
+        self.config = config
+        self.program = program
+        self.sim = Simulator(max_events=config.max_events or None)
+        self.counters = MessageCounters()
+        self.misses = MissCounters()
+        self.network = network_cls(self.sim, config, self.counters)
+        if program.home == "segment":
+            self.home_map = SegmentHome(config.n_processors, config.block_shift)
+        elif program.home == "round-robin":
+            self.home_map = RoundRobinHome(config.n_processors)
+        else:
+            raise ConfigError(f"unknown home policy {program.home!r}")
+        self.monitor = CoherenceMonitor(config) if config.check_invariants else None
+        policy = make_policy(config)
+        self.directories = [
+            DirectoryController(self.sim, config, node, self.network, policy)
+            for node in range(config.n_processors)
+        ]
+        self.controllers = [
+            CacheController(
+                self.sim, config, node, self.network, self.home_map, self.misses, self.monitor
+            )
+            for node in range(config.n_processors)
+        ]
+        for node in range(config.n_processors):
+            self.network.attach(node, self.controllers[node], self.directories[node])
+        self.locks = LockManager()
+        self.barrier = BarrierManager(self.sim, config.n_processors, config.barrier_latency)
+        self.stamps = StampSource()
+        self.processors = [
+            Processor(
+                self.sim,
+                config,
+                node,
+                self.controllers[node],
+                program.traces[node],
+                self.locks,
+                self.barrier,
+                self.stamps,
+            )
+            for node in range(config.n_processors)
+        ]
+        self._register_deadlock_hooks()
+        self._ran = False
+
+    def _register_deadlock_hooks(self):
+        sim = self.sim
+        for proc in self.processors:
+            sim.add_deadlock_hook(proc.deadlock_diagnostic)
+        for controller in self.controllers:
+            sim.add_deadlock_hook(controller.deadlock_diagnostic)
+        for directory in self.directories:
+            sim.add_deadlock_hook(directory.deadlock_diagnostic)
+        sim.add_deadlock_hook(self.network.deadlock_diagnostic)
+        sim.add_deadlock_hook(self.locks.deadlock_diagnostic)
+        sim.add_deadlock_hook(self.barrier.deadlock_diagnostic)
+
+    def run(self):
+        """Run the program to completion; returns a
+        :class:`~repro.stats.report.RunResult`."""
+        if self._ran:
+            raise SimulationError("Machine.run may only be called once")
+        self._ran = True
+        for proc in self.processors:
+            proc.start()
+        self.sim.run()
+        unfinished = [p.node for p in self.processors if not p.finished]
+        if unfinished:
+            raise SimulationError(f"processors never finished: {unfinished}")
+        finish_times = [proc.finish_time for proc in self.processors]
+        return RunResult(
+            label=self.config.describe(),
+            workload=self.program.name,
+            exec_time=max(finish_times),
+            per_proc_time=finish_times,
+            breakdowns=[proc.breakdown for proc in self.processors],
+            messages=self.counters,
+            misses=self.misses,
+            events_fired=self.sim.events_fired,
+            dir_busy_cycles=sum(d.resource.busy_cycles for d in self.directories),
+            ni_busy_cycles=sum(ni.busy_cycles for ni in self.network.interfaces),
+        )
+
+
+def simulate(config, program, network_cls=Network):
+    """Convenience: build a machine, run the program, return the result."""
+    return Machine(config, program, network_cls=network_cls).run()

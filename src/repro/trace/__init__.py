@@ -1,0 +1,28 @@
+"""Trace format: per-processor operation streams."""
+
+from repro.trace.ops import (
+    OP_BARRIER,
+    OP_LOCK,
+    OP_NAMES,
+    OP_READ,
+    OP_UNLOCK,
+    OP_WRITE,
+    Program,
+    Trace,
+)
+from repro.trace.builder import TraceBuilder
+from repro.trace.io import load_program, save_program
+
+__all__ = [
+    "OP_BARRIER",
+    "OP_LOCK",
+    "OP_NAMES",
+    "OP_READ",
+    "OP_UNLOCK",
+    "OP_WRITE",
+    "Program",
+    "Trace",
+    "TraceBuilder",
+    "load_program",
+    "save_program",
+]

@@ -1,0 +1,88 @@
+"""A convenient, append-only builder for per-processor traces."""
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.ops import (
+    OP_BARRIER,
+    OP_LOCK,
+    OP_READ,
+    OP_UNLOCK,
+    OP_WRITE,
+    Trace,
+)
+
+
+class TraceBuilder:
+    """Builds one processor's :class:`~repro.trace.ops.Trace`.
+
+    ``compute(n)`` accumulates into the *gap* of the next memory operation,
+    so interleaving ``compute``/``read``/``write`` calls in program order
+    produces the compact encoding directly.
+
+    >>> b = TraceBuilder()
+    >>> b.compute(10).read(0x40).write(0x40).barrier(0)
+    TraceBuilder(ops=3)
+    >>> trace = b.build()
+    >>> trace.counts()
+    {'read': 1, 'write': 1, 'barrier': 1}
+    """
+
+    def __init__(self):
+        self._gaps = []
+        self._kinds = []
+        self._addrs = []
+        self._pending_gap = 0
+
+    def __repr__(self):
+        return f"TraceBuilder(ops={len(self._kinds)})"
+
+    def compute(self, cycles):
+        """Accumulate compute cycles before the next operation."""
+        if cycles < 0:
+            raise TraceError("negative compute time")
+        self._pending_gap += int(cycles)
+        return self
+
+    def _emit(self, kind, addr):
+        self._gaps.append(self._pending_gap)
+        self._kinds.append(kind)
+        self._addrs.append(int(addr))
+        self._pending_gap = 0
+        return self
+
+    def read(self, addr):
+        return self._emit(OP_READ, addr)
+
+    def write(self, addr):
+        return self._emit(OP_WRITE, addr)
+
+    def lock(self, addr):
+        return self._emit(OP_LOCK, addr)
+
+    def unlock(self, addr):
+        return self._emit(OP_UNLOCK, addr)
+
+    def barrier(self, barrier_id=0):
+        return self._emit(OP_BARRIER, barrier_id)
+
+    def read_range(self, base, nbytes, stride):
+        """Reads covering ``[base, base+nbytes)`` at the given byte stride."""
+        for offset in range(0, nbytes, stride):
+            self.read(base + offset)
+        return self
+
+    def write_range(self, base, nbytes, stride):
+        for offset in range(0, nbytes, stride):
+            self.write(base + offset)
+        return self
+
+    def __len__(self):
+        return len(self._kinds)
+
+    def build(self):
+        return Trace(
+            np.array(self._gaps, dtype=np.int64),
+            np.array(self._kinds, dtype=np.uint8),
+            np.array(self._addrs, dtype=np.int64),
+        )

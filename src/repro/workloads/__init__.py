@@ -1,0 +1,68 @@
+"""Workload generators.
+
+The paper evaluates five shared-memory programs (Table 1).  The original
+binaries ran on the Wisconsin Wind Tunnel; here each program is replaced
+by a synthetic trace generator that reproduces the *sharing pattern* the
+paper attributes to it — the property DSI's behaviour actually depends on:
+
+=========  ==================================================================
+barnes     fine-grain locking on tree cells, load imbalance, gather reads
+           (sync-dominated; neither WC nor DSI helps much)
+em3d       local allocation, producer writes at the home node, a few percent
+           remote consumer reads (write-invalidation dominated; DSI removes it)
+ocean      nearest-neighbour rows, *unsynchronized* accesses between rare
+           barriers (DSI mistimed; WC hides write latency)
+sparse     a vector read by everyone and rewritten by its owners each
+           iteration (both read and write invalidation; DSI beats WC)
+tomcatv    large, mostly-private partitioned arrays; tiny boundary sharing
+           (capacity-bound at small caches, compute-bound at large)
+=========  ==================================================================
+
+All generators are deterministic given their ``seed`` and scale down
+linearly with the machine: the default sizes target the scaled cache pair
+(16 KB / 128 KB) that stands in for the paper's 256 KB / 2 MB.
+"""
+
+from repro.workloads.barnes import barnes
+from repro.workloads.em3d import em3d
+from repro.workloads.ocean import ocean
+from repro.workloads.sparse import sparse
+from repro.workloads.synthetic import (
+    false_sharing,
+    migratory,
+    producer_consumer,
+    read_mostly,
+)
+from repro.workloads.tomcatv import tomcatv
+
+#: The paper's Table 1, scaled: name -> (generator, description).
+CATALOG = {
+    "barnes": (barnes, "N-body: fine-grain cell locks, imbalanced bodies"),
+    "em3d": (em3d, "bipartite graph, local allocation, 5% remote edges"),
+    "ocean": (ocean, "red-black grid sweeps, unsynchronized row sharing"),
+    "sparse": (sparse, "iterative solve: vector read by all, rewritten by owners"),
+    "tomcatv": (tomcatv, "mesh generation: large private arrays, boundary rows"),
+}
+
+
+def by_name(name, **kwargs):
+    """Build a paper workload by name (e.g. ``by_name("em3d", n_procs=8)``)."""
+    if name not in CATALOG:
+        raise KeyError(f"unknown workload {name!r}; have {sorted(CATALOG)}")
+    generator, _description = CATALOG[name]
+    return generator(**kwargs)
+
+
+__all__ = [
+    "CATALOG",
+    "barnes",
+    "by_name",
+    "em3d",
+    "false_sharing",
+    "migratory",
+    "ocean",
+    "producer_consumer",
+    "read_mostly",
+    "sparse",
+    "tomcatv",
+]

@@ -1,0 +1,85 @@
+"""Barnes: hierarchical N-body (paper: "2048 bodies, 5 iterations").
+
+Sharing pattern: the paper attributes Barnes' behaviour to *fine-grain
+locking and load imbalance for this small data set* — a large
+synchronization component that neither weak consistency nor DSI reduces
+(§5.2).  The generator reproduces both properties:
+
+* **tree build**: every body inserts into a shared tree; each touched cell
+  is protected by one of a pool of fine-grain locks (lock, read cell,
+  write cell, unlock) with real contention;
+* **force computation**: a gather over many tree cells and a few other
+  processors' bodies, with a heavy per-interaction compute gap;
+* **imbalance**: body counts per processor are deterministically skewed
+  (up to ~2x), so the per-phase barriers collect long waits.
+"""
+
+from repro.workloads.base import BLOCK, WORD, WorkloadContext
+
+
+def barnes(
+    n_procs=32,
+    bodies_per_proc=24,
+    cells=128,
+    locks=32,
+    gather=16,
+    imbalance=0.8,
+    iterations=3,
+    compute_per_interaction=6,
+    seed=404,
+):
+    """Build the Barnes program.
+
+    ``imbalance`` skews per-processor body counts: processor ``p`` gets
+    ``bodies_per_proc * (1 + imbalance * p / (n_procs - 1))`` bodies.
+    """
+    ctx = WorkloadContext("barnes", n_procs, seed=seed)
+    # Shared tree cells: one cache block each, distributed round-robin.
+    cell_addr = [ctx.alloc.alloc(c % n_procs, BLOCK) for c in range(cells)]
+    cell_locks = [ctx.new_lock() for _ in range(locks)]
+    # Bodies: each processor's bodies in its own segment (a block per body).
+    counts = [
+        max(1, round(bodies_per_proc * (1 + imbalance * p / max(1, n_procs - 1))))
+        for p in range(n_procs)
+    ]
+    body_addr = {
+        p: [ctx.alloc.alloc(p, BLOCK) for _ in range(counts[p])] for p in range(n_procs)
+    }
+
+    ctx.barrier_all()
+    for _iteration in range(iterations):
+        # Phase 1: tree build with fine-grain cell locking.
+        for proc in range(n_procs):
+            builder = ctx.builders[proc]
+            for body in range(counts[proc]):
+                cell = int(ctx.rng.integers(0, cells))
+                lock = cell_locks[cell % locks]
+                builder.compute(4)
+                builder.lock(lock)
+                builder.read(cell_addr[cell])
+                builder.compute(3)
+                builder.write(cell_addr[cell])
+                builder.unlock(lock)
+        ctx.barrier_all()
+        # Phase 2: force computation — gather over cells and remote bodies.
+        for proc in range(n_procs):
+            builder = ctx.builders[proc]
+            for body in range(counts[proc]):
+                for _ in range(gather):
+                    builder.read(cell_addr[int(ctx.rng.integers(0, cells))])
+                    builder.compute(compute_per_interaction)
+                for _ in range(2):
+                    other = int(ctx.rng.integers(0, n_procs))
+                    others = body_addr[other]
+                    builder.read(others[int(ctx.rng.integers(0, len(others)))])
+                builder.compute(compute_per_interaction * 2)
+                builder.write(body_addr[proc][body])
+        ctx.barrier_all()
+    return ctx.program(
+        seed=seed,
+        bodies=sum(counts),
+        cells=cells,
+        locks=locks,
+        iterations=iterations,
+        imbalance=imbalance,
+    )

@@ -1,0 +1,105 @@
+"""Sparse: iterative solve with a broadcast vector
+(paper: "512x512 dense, 5 iterations").
+
+Sharing pattern: the solution vector ``x`` is chunk-distributed (chunk
+``p`` rewritten by processor ``p`` every iteration) while the
+matrix-vector product makes **every processor sweep the whole vector in
+the same order** immediately after the barrier.  Homes are round-robin, so
+the writer of a chunk is (almost) never its home.
+
+This is the access pattern where DSI shines brightest, for two reasons the
+paper's §5.2 highlights:
+
+* **read invalidation** — the first reader of each freshly-written block
+  triggers a three-hop owner invalidation at a remote home, and because
+  all processors sweep in lockstep, the other ~31 readers queue behind the
+  busy directory entry and *all* absorb that invalidation latency.  DSI
+  flushes the writer's copy at its synchronization point, so the whole
+  convoy finds the block idle.  Weak consistency cannot eliminate any of
+  this, which is why the paper measures DSI *outperforming* WC on Sparse.
+* **write invalidation** — each owner's rewrite otherwise finds ~31
+  sharers; with DSI the readers' (version-mismatched) copies flushed at
+  the barrier.
+
+The per-processor self-invalidate set (~``x_words/8`` blocks, default 224
+non-home blocks) deliberately exceeds a 64-entry FIFO while the vector is
+re-swept within the iteration, reproducing Figure 5: early FIFO
+self-invalidation forces re-misses that return *normal* blocks and forfeit
+most of DSI's benefit.
+"""
+
+from repro.workloads.base import WORD, WorkloadContext
+
+
+def sparse(
+    n_procs=32,
+    x_words=2048,
+    rows_per_proc=2,
+    sweeps_per_row=2,
+    sweep_stride=2,
+    a_words_per_proc=1024,
+    a_stride=8,
+    iterations=4,
+    compute_per_chunk=2,
+    seed=101,
+):
+    """Build the Sparse program.
+
+    Each of the ``rows_per_proc`` rows sweeps the full ``x_words``-word
+    vector ``sweeps_per_row`` times at ``sweep_stride`` words, interleaved
+    with strided reads of a private matrix panel of ``a_words_per_proc``
+    words; afterwards every processor rewrites its own chunk of ``x``.
+    """
+    ctx = WorkloadContext("sparse", n_procs, seed=seed)
+    chunk_words = x_words // n_procs
+    x_chunks = ctx.alloc_array(chunk_words)
+    a_base = [ctx.alloc_words(p, a_words_per_proc) for p in range(n_procs)]
+    y_base = [ctx.alloc_words(p, rows_per_proc) for p in range(n_procs)]
+    residual_lock = ctx.new_lock()
+    residual = ctx.alloc_words(0, 1)
+
+    def x_addr(word):
+        owner, offset = divmod(word, chunk_words)
+        return x_chunks[owner] + offset * WORD
+
+    ctx.barrier_all()
+    for _iteration in range(iterations):
+        # Matrix-vector product: every processor sweeps x front-to-back.
+        for proc in range(n_procs):
+            builder = ctx.builders[proc]
+            a_cursor = 0
+            for row in range(rows_per_proc):
+                for _sweep in range(sweeps_per_row):
+                    for word in range(0, x_words, sweep_stride):
+                        builder.read(x_addr(word))
+                        if word % (sweep_stride * 4) == 0:
+                            builder.read(a_base[proc] + (a_cursor % a_words_per_proc) * WORD)
+                            a_cursor += a_stride
+                        builder.compute(compute_per_chunk)
+                builder.write(y_base[proc] + row * WORD)
+        # Lock-protected residual reduction.
+        for proc in range(n_procs):
+            builder = ctx.builders[proc]
+            builder.lock(residual_lock)
+            builder.read(residual).compute(4).write(residual)
+            builder.unlock(residual_lock)
+        ctx.barrier_all()
+        # x = f(y): every owner rewrites its chunk, invalidating the world.
+        for proc in range(n_procs):
+            builder = ctx.builders[proc]
+            builder.read(y_base[proc])
+            for offset in range(chunk_words):
+                builder.write(x_chunks[proc] + offset * WORD)
+            builder.compute(compute_per_chunk * 8)
+        ctx.barrier_all()
+    # Round-robin homes: the vector interleaves across the machine, so a
+    # reader's miss on a freshly-written block takes a three-hop
+    # invalidation through a remote home.
+    return ctx.program(
+        home="round-robin",
+        seed=seed,
+        x_words=x_words,
+        rows_per_proc=rows_per_proc,
+        sweeps_per_row=sweeps_per_row,
+        iterations=iterations,
+    )

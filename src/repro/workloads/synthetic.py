@@ -1,0 +1,82 @@
+"""Micro sharing patterns used by tests, examples and ablations.
+
+Each returns a :class:`~repro.trace.ops.Program` exercising one canonical
+coherence pattern in isolation.
+"""
+
+from repro.workloads.base import BLOCK, WORD, WorkloadContext
+
+
+def producer_consumer(n_procs=4, blocks=8, iterations=6, compute=10, seed=1):
+    """Processor 0 writes a region; everyone else reads it; repeat with
+    barriers.  The cleanest possible DSI win."""
+    ctx = WorkloadContext("producer_consumer", n_procs, seed=seed)
+    base = ctx.alloc_words(0, blocks * BLOCK // WORD)
+    ctx.barrier_all()
+    for _ in range(iterations):
+        producer = ctx.builders[0]
+        producer.compute(compute)
+        for block in range(blocks):
+            producer.write(base + block * BLOCK)
+        ctx.barrier_all()
+        for consumer in ctx.builders[1:]:
+            consumer.compute(compute)
+            for block in range(blocks):
+                consumer.read(base + block * BLOCK)
+        ctx.barrier_all()
+    return ctx.program(blocks=blocks, iterations=iterations)
+
+
+def migratory(n_procs=4, blocks=4, rounds=8, compute=10, seed=2):
+    """A region is read-modified-written by each processor in turn — the
+    classic migratory pattern (lock-protected)."""
+    ctx = WorkloadContext("migratory", n_procs, seed=seed)
+    base = ctx.alloc_words(0, blocks * BLOCK // WORD)
+    lock = ctx.new_lock()
+    ctx.barrier_all()
+    for _round in range(rounds):
+        for proc in range(n_procs):
+            builder = ctx.builders[proc]
+            builder.compute(compute)
+            builder.lock(lock)
+            for block in range(blocks):
+                builder.read(base + block * BLOCK)
+                builder.write(base + block * BLOCK)
+            builder.unlock(lock)
+        ctx.barrier_all()
+    return ctx.program(blocks=blocks, rounds=rounds)
+
+
+def read_mostly(n_procs=4, blocks=16, iterations=5, writes_per_iter=1, seed=3):
+    """Widely-read data with occasional writes by processor 0."""
+    ctx = WorkloadContext("read_mostly", n_procs, seed=seed)
+    base = ctx.alloc_words(0, blocks * BLOCK // WORD)
+    ctx.barrier_all()
+    for _ in range(iterations):
+        for builder in ctx.builders:
+            builder.compute(5)
+            for block in range(blocks):
+                builder.read(base + block * BLOCK)
+        ctx.barrier_all()
+        writer = ctx.builders[0]
+        for w in range(writes_per_iter):
+            writer.write(base + (w % blocks) * BLOCK)
+        ctx.barrier_all()
+    return ctx.program(blocks=blocks, iterations=iterations)
+
+
+def false_sharing(n_procs=4, words_per_proc=2, iterations=10, seed=4):
+    """Every processor rewrites its own words of one shared block —
+    coherence traffic with no true communication."""
+    ctx = WorkloadContext("false_sharing", n_procs, seed=seed)
+    base = ctx.alloc_words(0, max(n_procs * words_per_proc, BLOCK // WORD))
+    ctx.barrier_all()
+    for _ in range(iterations):
+        for proc, builder in enumerate(ctx.builders):
+            builder.compute(5)
+            for w in range(words_per_proc):
+                addr = base + (proc * words_per_proc + w) * WORD
+                builder.read(addr)
+                builder.write(addr)
+        ctx.barrier_all()
+    return ctx.program(words_per_proc=words_per_proc, iterations=iterations)

@@ -1,0 +1,90 @@
+"""Tomcatv: vectorized mesh generation (paper: "512x512, 5 iterations").
+
+Sharing pattern: several large arrays are row-partitioned; almost all
+accesses are to a processor's own partition, with a small amount of
+boundary-row sharing between neighbours and barriers between the phases of
+each iteration.  What matters is the *working set*:
+
+* at the small cache size the per-processor working set does not fit, so
+  execution is dominated by capacity misses to idle (home-local) blocks
+  that **no coherence optimisation helps** — the paper sees no change for
+  any protocol at 256 KB;
+* at the large cache size the arrays fit and execution is compute-bound
+  with a small coherence tail from the boundary rows, yielding the paper's
+  few-percent improvements (larger under a slow network, Figure 4).
+
+Default geometry: 3 arrays x ``rows_per_proc=16`` x ``cols=128`` x 4-byte
+words = 24 KB per processor — between the scaled cache sizes (16 KB /
+128 KB) exactly as 512x512 sat between 256 KB and 2 MB.
+"""
+
+from repro.workloads.base import WORD, WorkloadContext
+
+N_ARRAYS = 3
+
+
+def tomcatv(
+    n_procs=32,
+    rows_per_proc=16,
+    cols=128,
+    iterations=3,
+    compute_per_point=8,
+    read_stride_words=2,
+    seed=505,
+):
+    """Build the Tomcatv program."""
+    ctx = WorkloadContext("tomcatv", n_procs, seed=seed)
+    row_words = cols
+    arrays = [
+        [ctx.alloc_words(p, rows_per_proc * row_words) for p in range(n_procs)]
+        for _ in range(N_ARRAYS)
+    ]
+
+    def row_addr(array, proc, local_row):
+        return arrays[array][proc] + local_row * row_words * WORD
+
+    stride = read_stride_words * WORD
+
+    ctx.barrier_all()
+    for _iteration in range(iterations):
+        # Phase 1: stencil over own rows of arrays 0/1, writing array 2;
+        # boundary rows of the neighbours are read once.
+        for proc in range(n_procs):
+            builder = ctx.builders[proc]
+            if proc > 0:
+                for col in range(0, cols, read_stride_words * 4):
+                    builder.read(row_addr(0, proc - 1, rows_per_proc - 1) + col * WORD)
+            if proc < n_procs - 1:
+                for col in range(0, cols, read_stride_words * 4):
+                    builder.read(row_addr(0, proc + 1, 0) + col * WORD)
+            for local_row in range(rows_per_proc):
+                for col_byte in range(0, row_words * WORD, stride):
+                    builder.read(row_addr(0, proc, local_row) + col_byte)
+                    builder.read(row_addr(1, proc, local_row) + col_byte)
+                    builder.compute(compute_per_point)
+                    builder.write(row_addr(2, proc, local_row) + col_byte)
+                    if col_byte:
+                        # Recurrence on the previous point (tomcatv's sweeps
+                        # carry row dependencies): under WC this read finds
+                        # its block's write still outstanding — the paper's
+                        # "read wb" stall that cancels the write-buffer win
+                        # at the small cache size.
+                        builder.read(row_addr(2, proc, local_row) + col_byte - stride)
+        ctx.barrier_all()
+        # Phase 2: sweep array 2 back into array 0 (private traffic).
+        for proc in range(n_procs):
+            builder = ctx.builders[proc]
+            for local_row in range(rows_per_proc):
+                for col_byte in range(0, row_words * WORD, stride):
+                    builder.read(row_addr(2, proc, local_row) + col_byte)
+                    builder.compute(compute_per_point)
+                    builder.write(row_addr(0, proc, local_row) + col_byte)
+        ctx.barrier_all()
+    return ctx.program(
+        seed=seed,
+        rows=n_procs * rows_per_proc,
+        cols=cols,
+        arrays=N_ARRAYS,
+        iterations=iterations,
+        wss_bytes_per_proc=N_ARRAYS * rows_per_proc * cols * WORD,
+    )

@@ -1,0 +1,70 @@
+"""Shared test fixtures and helpers."""
+
+import pytest
+
+from repro.config import Consistency, IdentifyScheme, SystemConfig
+from repro.system import Machine
+from repro.trace.builder import TraceBuilder
+from repro.trace.ops import Program
+
+KB = 1024
+
+
+def tiny_config(n_procs=2, **overrides):
+    """A small, fully-checked machine configuration for protocol tests."""
+    defaults = dict(
+        n_processors=n_procs,
+        cache_size=8 * KB,
+        check_invariants=True,
+        quantum=1,
+        max_events=2_000_000,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def seg_addr(node, offset=0):
+    """A byte address in ``node``'s home segment (block-aligned base)."""
+    return (node << 22) + 4096 + offset
+
+
+def run_program(config, program):
+    return Machine(config, program).run()
+
+
+def two_proc_program(build):
+    """Build a two-processor program via ``build(b0, b1, ctx)`` where ctx
+    offers barrier emission."""
+    builders = [TraceBuilder(), TraceBuilder()]
+    counter = {"next": 0}
+
+    class Ctx:
+        @staticmethod
+        def barrier_all():
+            bid = counter["next"]
+            counter["next"] += 1
+            for builder in builders:
+                builder.barrier(bid)
+
+    build(builders[0], builders[1], Ctx)
+    return Program("test", [b.build() for b in builders])
+
+
+@pytest.fixture
+def sc_config():
+    return tiny_config()
+
+
+@pytest.fixture
+def wc_config():
+    return tiny_config(consistency=Consistency.WC)
+
+
+@pytest.fixture
+def dsi_v_config():
+    return tiny_config(identify=IdentifyScheme.VERSION)
+
+
+@pytest.fixture
+def dsi_s_config():
+    return tiny_config(identify=IdentifyScheme.STATES)

@@ -1,0 +1,66 @@
+"""Cycle-accounting invariants across protocols and workloads.
+
+The paper's Figure 3/6 methodology only works if every simulated cycle is
+attributed to exactly one category; these tests enforce that globally.
+"""
+
+import pytest
+
+from conftest import tiny_config
+from repro.config import Consistency, IdentifyScheme, SIMechanism
+from repro.system import Machine
+from repro.workloads import (
+    barnes,
+    em3d,
+    false_sharing,
+    migratory,
+    ocean,
+    producer_consumer,
+    read_mostly,
+    sparse,
+    tomcatv,
+)
+
+QUICK_PROGRAMS = {
+    "barnes": lambda n: barnes(n_procs=n, bodies_per_proc=4, cells=16, iterations=1),
+    "em3d": lambda n: em3d(n_procs=n, nodes_per_proc=16, iterations=1, private_words=64),
+    "ocean": lambda n: ocean(n_procs=n, cols=16, days=1, sweeps_per_day=2),
+    "sparse": lambda n: sparse(n_procs=n, x_words=128, iterations=1, a_words_per_proc=64),
+    "tomcatv": lambda n: tomcatv(n_procs=n, rows_per_proc=2, cols=32, iterations=1),
+    "producer_consumer": lambda n: producer_consumer(n_procs=n, blocks=4, iterations=2),
+    "migratory": lambda n: migratory(n_procs=n, blocks=2, rounds=3),
+    "read_mostly": lambda n: read_mostly(n_procs=n, blocks=4, iterations=2),
+    "false_sharing": lambda n: false_sharing(n_procs=n, iterations=3),
+}
+
+PROTOCOL_VARIANTS = {
+    "sc": {},
+    "wc": {"consistency": Consistency.WC},
+    "dsi_states": {"identify": IdentifyScheme.STATES},
+    "dsi_version": {"identify": IdentifyScheme.VERSION},
+    "dsi_fifo": {"identify": IdentifyScheme.VERSION, "si_mechanism": SIMechanism.FIFO, "fifo_entries": 4},
+    "wc_tearoff": {
+        "consistency": Consistency.WC,
+        "identify": IdentifyScheme.VERSION,
+        "tearoff": True,
+    },
+    "migratory_opt": {"migratory": True},
+    "cache_side": {"identify": IdentifyScheme.CACHE},
+}
+
+
+@pytest.mark.parametrize("workload", sorted(QUICK_PROGRAMS))
+@pytest.mark.parametrize("variant", sorted(PROTOCOL_VARIANTS))
+def test_every_cycle_attributed(workload, variant):
+    """Per processor: finish time == sum of all breakdown categories."""
+    n_procs = 4
+    program = QUICK_PROGRAMS[workload](n_procs)
+    config = tiny_config(n_procs=n_procs, **PROTOCOL_VARIANTS[variant])
+    result = Machine(config, program).run()
+    for proc, finish in enumerate(result.per_proc_time):
+        assert result.breakdowns[proc].total() == finish, (
+            f"{workload}/{variant}: processor {proc} accounted "
+            f"{result.breakdowns[proc].total()} of {finish} cycles"
+        )
+    # Sanity: the run did something.
+    assert result.exec_time > 0

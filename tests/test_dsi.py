@@ -1,0 +1,256 @@
+"""End-to-end DSI behaviour: marking, flushing, FIFO, tear-off.
+
+These are the system-level counterparts of the unit tests in
+test_identify.py / test_mechanisms.py: a whole machine runs a small
+program and we observe eliminated invalidations, self-invalidation
+notifications, and the semantic equivalence with the base protocol.
+"""
+
+import pytest
+
+from conftest import seg_addr, tiny_config, two_proc_program
+from repro.config import Consistency, IdentifyScheme, SIMechanism
+from repro.system import Machine
+from repro.trace.builder import TraceBuilder
+from repro.trace.ops import Program
+
+
+def producer_consumer(rounds=4, blocks=4, n_readers=1):
+    """P0 writes blocks; readers read them; barrier-separated rounds."""
+    builders = [TraceBuilder() for _ in range(1 + n_readers)]
+    bid = 0
+    for _round in range(rounds):
+        for word in range(blocks):
+            builders[0].write(seg_addr(0, word * 32))
+        for builder in builders:
+            builder.barrier(bid)
+        bid += 1
+        for reader in builders[1:]:
+            for word in range(blocks):
+                reader.read(seg_addr(0, word * 32))
+        for builder in builders:
+            builder.barrier(bid)
+        bid += 1
+    return Program("pc", [b.build() for b in builders])
+
+
+def run(config, program):
+    return Machine(config, program).run()
+
+
+class TestSelfInvalidationSC:
+    @pytest.mark.parametrize("scheme", [IdentifyScheme.STATES, IdentifyScheme.VERSION])
+    def test_invalidations_eliminated(self, scheme):
+        program = producer_consumer()
+        base = run(tiny_config(n_procs=2), program)
+        dsi = run(tiny_config(n_procs=2, identify=scheme), program)
+        assert dsi.messages.invalidations() < base.messages.invalidations()
+        assert dsi.misses.self_invalidations > 0
+
+    @pytest.mark.parametrize("scheme", [IdentifyScheme.STATES, IdentifyScheme.VERSION])
+    def test_execution_time_improves(self, scheme):
+        program = producer_consumer(rounds=6)
+        base = run(tiny_config(n_procs=2), program)
+        dsi = run(tiny_config(n_procs=2, identify=scheme), program)
+        assert dsi.exec_time < base.exec_time
+
+    def test_si_notifications_sent_for_tracked_blocks(self):
+        program = producer_consumer()
+        dsi = run(tiny_config(n_procs=2, identify=IdentifyScheme.VERSION), program)
+        notifies = dsi.messages.network.get("SI_NOTIFY", 0) + dsi.messages.local.get(
+            "SI_NOTIFY", 0
+        )
+        assert notifies == dsi.misses.self_invalidations
+
+    def test_same_read_values_as_base_protocol(self):
+        """Self-invalidation is semantically a replacement: the reader
+        observes exactly the same data stamps with and without DSI."""
+        program = producer_consumer(rounds=3, blocks=2)
+
+        def collect_reads(config):
+            observed = []
+            machine = Machine(config, program)
+            monitor = machine.monitor
+            original = monitor.on_read
+
+            def spy(node, block, stamp):
+                observed.append((node, block, stamp))
+                original(node, block, stamp)
+
+            monitor.on_read = spy
+            machine.run()
+            return observed
+
+        base_reads = collect_reads(tiny_config(n_procs=2))
+        dsi_reads = collect_reads(tiny_config(n_procs=2, identify=IdentifyScheme.VERSION))
+        assert base_reads == dsi_reads
+
+    def test_dsi_wait_time_is_small(self):
+        program = producer_consumer()
+        dsi = run(tiny_config(n_procs=2, identify=IdentifyScheme.VERSION), program)
+        total = dsi.aggregate_breakdown()
+        assert total.dsi < 0.05 * total.total()
+
+    def test_version_scheme_needs_tag_history(self):
+        """A first-touch miss (no retained tag) gets a normal block."""
+        program = producer_consumer(rounds=1)
+        dsi = run(tiny_config(n_procs=2, identify=IdentifyScheme.VERSION), program)
+        assert dsi.misses.si_marked_fills == 0
+
+    def test_states_scheme_marks_first_read_after_write(self):
+        """The states scheme marks from directory state alone — no cache
+        history needed, so even round 1 reads get marked blocks."""
+        program = producer_consumer(rounds=1)
+        dsi = run(tiny_config(n_procs=2, identify=IdentifyScheme.STATES), program)
+        assert dsi.misses.si_marked_fills > 0
+
+
+class TestSpecialCases:
+    def test_home_node_blocks_never_marked(self):
+        """Reader and home coincide: its copies are never marked."""
+
+        def build(b0, b1, ctx):
+            # P1 writes a block homed on P0; P0 reads it repeatedly.
+            for _ in range(3):
+                ctx.barrier_all()
+                b1.write(seg_addr(0))
+                ctx.barrier_all()
+                b0.read(seg_addr(0))
+            ctx.barrier_all()
+
+        program = two_proc_program(build)
+        result = run(tiny_config(n_procs=2, identify=IdentifyScheme.VERSION), program)
+        assert result.misses.si_marked_fills == 0
+
+    def test_home_exclusion_disabled(self):
+        def build(b0, b1, ctx):
+            for _ in range(3):
+                ctx.barrier_all()
+                b1.write(seg_addr(0))
+                ctx.barrier_all()
+                b0.read(seg_addr(0))
+            ctx.barrier_all()
+
+        program = two_proc_program(build)
+        result = run(
+            tiny_config(n_procs=2, identify=IdentifyScheme.VERSION, home_exclusion=False),
+            program,
+        )
+        assert result.misses.si_marked_fills > 0
+
+    def test_sc_upgrade_case_avoids_self_invalidation(self):
+        """A sole sharer that upgrades keeps its exclusive block unmarked
+        under SC (with the special case on)."""
+
+        def build(b0, b1, ctx):
+            for i in range(3):
+                b0.read(seg_addr(1)).write(seg_addr(1)).compute(50)
+                ctx.barrier_all()
+
+        program = two_proc_program(build)
+        with_case = run(
+            tiny_config(n_procs=2, identify=IdentifyScheme.STATES), program
+        )
+        without_case = run(
+            tiny_config(
+                n_procs=2, identify=IdentifyScheme.STATES, sc_upgrade_special_case=False
+            ),
+            program,
+        )
+        assert with_case.misses.self_invalidations < without_case.misses.self_invalidations
+
+
+class TestFifoMechanism:
+    def test_fifo_overflow_invalidates_early(self):
+        config = tiny_config(
+            n_procs=2,
+            identify=IdentifyScheme.STATES,
+            si_mechanism=SIMechanism.FIFO,
+            fifo_entries=2,
+        )
+        program = producer_consumer(rounds=3, blocks=8)
+        result = run(config, program)
+        assert result.misses.fifo_overflows > 0
+
+    def test_fifo_causes_extra_misses(self):
+        """Blocks evicted from the FIFO before reuse are re-fetched."""
+        # Reader re-reads the region twice per round; a tiny FIFO evicts
+        # marked blocks between the passes.
+        builders = [TraceBuilder(), TraceBuilder()]
+        bid = 0
+        for _round in range(3):
+            for word in range(8):
+                builders[0].write(seg_addr(0, word * 32))
+            for builder in builders:
+                builder.barrier(bid)
+            bid += 1
+            for _pass in range(2):
+                for word in range(8):
+                    builders[1].read(seg_addr(0, word * 32))
+            for builder in builders:
+                builder.barrier(bid)
+            bid += 1
+        program = Program("refifo", [b.build() for b in builders])
+        flush = run(
+            tiny_config(n_procs=2, identify=IdentifyScheme.STATES), program
+        )
+        fifo = run(
+            tiny_config(
+                n_procs=2,
+                identify=IdentifyScheme.STATES,
+                si_mechanism=SIMechanism.FIFO,
+                fifo_entries=2,
+            ),
+            program,
+        )
+        assert fifo.misses.read_misses > flush.misses.read_misses
+
+
+class TestTearoff:
+    def tearoff_config(self, **over):
+        return tiny_config(
+            n_procs=3,
+            consistency=Consistency.WC,
+            identify=IdentifyScheme.VERSION,
+            tearoff=True,
+            **over,
+        )
+
+    def producer_two_readers(self, rounds=4):
+        return Program(
+            "pc3",
+            producer_consumer(rounds=rounds, blocks=4, n_readers=2).traces,
+        )
+
+    def test_tearoff_eliminates_inv_and_ack(self):
+        program = self.producer_two_readers()
+        base = run(tiny_config(n_procs=3, consistency=Consistency.WC), program)
+        tear = run(self.tearoff_config(), program)
+        assert tear.messages.invalidations() < base.messages.invalidations()
+        assert tear.messages.acknowledgments() < base.messages.acknowledgments()
+        assert tear.misses.tearoff_fills > 0
+
+    def test_tearoff_blocks_not_tracked(self):
+        program = self.producer_two_readers()
+        machine = Machine(self.tearoff_config(), program)
+        result = machine.run()
+        assert result.misses.tearoff_fills > 0
+        # No tracked sharer should remain for the produced blocks: every
+        # consumer copy was tear-off and self-invalidated at a barrier.
+        for directory in machine.directories:
+            for entry in directory.entries.values():
+                assert entry.sharer_count() <= 1
+
+    def test_tearoff_flush_sends_no_messages(self):
+        """Tear-off self-invalidation is a silent flash clear."""
+        program = self.producer_two_readers()
+        result = run(self.tearoff_config(), program)
+        notifies = result.messages.network.get("SI_NOTIFY", 0) + result.messages.local.get(
+            "SI_NOTIFY", 0
+        )
+        # Only exclusive (writer-side) self-invalidations notify.
+        assert notifies <= result.misses.self_invalidations - result.misses.tearoff_fills
+
+    def test_reader_still_sees_fresh_data_after_sync(self):
+        program = self.producer_two_readers(rounds=5)
+        run(self.tearoff_config(), program)  # monitor asserts monotone reads

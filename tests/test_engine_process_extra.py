@@ -1,0 +1,159 @@
+"""Additional engine coverage: process composition, resource chains,
+and simulator interplay used by examples."""
+
+import pytest
+
+from repro.engine.process import Process, Timeout, Waiter
+from repro.engine.resource import Resource
+from repro.engine.simulator import Simulator
+from repro.errors import SimulationError
+
+
+class TestProcessComposition:
+    def test_pipeline_of_processes(self):
+        """Producer hands values to a consumer through waiters."""
+        sim = Simulator()
+        handoffs = [Waiter() for _ in range(3)]
+        log = []
+
+        def producer():
+            for index, waiter in enumerate(handoffs):
+                yield Timeout(10)
+                waiter.trigger(index)
+
+        def consumer():
+            for waiter in handoffs:
+                value = yield waiter
+                log.append((sim.now, value))
+
+        Process(sim, producer())
+        Process(sim, consumer())
+        sim.run()
+        assert log == [(10, 0), (20, 1), (30, 2)]
+
+    def test_fork_join(self):
+        sim = Simulator()
+        results = []
+
+        def worker(delay, tag):
+            yield Timeout(delay)
+            return tag
+
+        def coordinator():
+            workers = [Process(sim, worker(d, t)) for d, t in ((30, "slow"), (10, "fast"))]
+            for process in workers:
+                value = yield process.join()
+                results.append((sim.now, value))
+
+        Process(sim, coordinator())
+        sim.run()
+        # Joins in order: waits for slow (30) first, fast already done.
+        assert results == [(30, "slow"), (30, "fast")]
+
+    def test_zero_timeout(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield Timeout(0)
+            log.append(sim.now)
+
+        Process(sim, proc())
+        sim.run()
+        assert log == [0]
+
+    def test_many_processes_deterministic(self):
+        def run_once():
+            sim = Simulator()
+            order = []
+
+            def proc(tag, delay):
+                yield Timeout(delay)
+                order.append(tag)
+
+            for i in range(20):
+                Process(sim, proc(i, (i * 7) % 5))
+            sim.run()
+            return order
+
+        assert run_once() == run_once()
+
+
+class TestResourceChains:
+    def test_resource_feeding_resource(self):
+        """Two stages in series: completion of stage 1 submits stage 2."""
+        sim = Simulator()
+        stage1 = Resource(sim, "s1")
+        stage2 = Resource(sim, "s2")
+        finished = []
+
+        def into_stage2(tag):
+            stage2.submit(5, lambda: finished.append((tag, sim.now)))
+
+        for tag in range(3):
+            stage1.submit(10, into_stage2, tag)
+        sim.run()
+        # stage1 completes at 10/20/30; stage2 5 cycles later each (no
+        # overlap conflicts since stage2 jobs are shorter).
+        assert [t for (_tag, t) in sorted(finished, key=lambda x: x[1])] == [15, 25, 35]
+
+    def test_resource_stats_after_chain(self):
+        sim = Simulator()
+        resource = Resource(sim, "r")
+        for _ in range(4):
+            resource.submit(5, lambda: None)
+        sim.run()
+        assert resource.busy_cycles == 20
+        assert not resource.busy
+
+    def test_submit_during_service(self):
+        sim = Simulator()
+        resource = Resource(sim, "r")
+        done = []
+
+        def first():
+            resource.submit(5, lambda: done.append(("second", sim.now)))
+            done.append(("first", sim.now))
+
+        resource.submit(10, first)
+        sim.run()
+        assert done == [("first", 10), ("second", 15)]
+
+
+class TestSimulatorEdges:
+    def test_callback_exception_propagates(self):
+        sim = Simulator()
+
+        def boom():
+            raise ValueError("bang")
+
+        sim.schedule(1, boom)
+        with pytest.raises(ValueError, match="bang"):
+            sim.run()
+
+    def test_run_after_exception_possible(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: (_ for _ in ()).throw(ValueError()))
+        with pytest.raises(ValueError):
+            sim.run()
+        fired = []
+        sim.schedule(1, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired  # the simulator is reusable after a callback error
+
+    def test_until_boundary_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, 10)
+        sim.run(until=10)
+        assert fired == [10]
+
+    def test_until_does_not_drop_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, 10)
+        sim.schedule(20, fired.append, 20)
+        sim.run(until=15)
+        assert fired == [10]
+        sim.run(until=25)
+        assert fired == [10, 20]

@@ -1,0 +1,158 @@
+"""Extensions beyond the paper's evaluated design points:
+
+* cache-side identification (§3.1 sketch): the cache marks its own fills
+  from an invalidation-count history;
+* tear-off blocks under sequential consistency (§3.3 discussion): at most
+  one untracked copy per cache, dropped at the next miss (Scheurich).
+"""
+
+import pytest
+
+from conftest import seg_addr, tiny_config
+from repro.config import Consistency, IdentifyScheme, SystemConfig
+from repro.core.identify import InvalidationHistory
+from repro.errors import ConfigError
+from repro.system import Machine
+from repro.trace.builder import TraceBuilder
+from repro.trace.ops import Program
+from repro.workloads import producer_consumer
+
+
+class TestInvalidationHistoryUnit:
+    def test_threshold(self):
+        history = InvalidationHistory(capacity=8, threshold=2)
+        history.record(5)
+        assert not history.should_mark(5)
+        history.record(5)
+        assert history.should_mark(5)
+
+    def test_capacity_evicts_oldest(self):
+        history = InvalidationHistory(capacity=2, threshold=1)
+        history.record(1)
+        history.record(2)
+        history.record(3)  # evicts 1
+        assert not history.should_mark(1)
+        assert history.should_mark(2)
+        assert history.should_mark(3)
+        assert len(history) == 2
+
+    def test_record_refreshes_recency(self):
+        history = InvalidationHistory(capacity=2, threshold=1)
+        history.record(1)
+        history.record(2)
+        history.record(1)  # 1 becomes most recent
+        history.record(3)  # evicts 2
+        assert history.should_mark(1)
+        assert not history.should_mark(2)
+
+    def test_counts_accumulate(self):
+        history = InvalidationHistory(capacity=4, threshold=3)
+        for _ in range(3):
+            history.record(7)
+        assert history.count(7) == 3
+        assert history.should_mark(7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            InvalidationHistory(capacity=0, threshold=1)
+
+
+class TestCacheSideIdentification:
+    def test_marks_after_repeated_invalidations(self):
+        program = producer_consumer(n_procs=3, blocks=4, iterations=6)
+        config = tiny_config(n_procs=3, identify=IdentifyScheme.CACHE)
+        result = Machine(config, program).run()
+        assert result.misses.self_invalidations > 0
+        base = Machine(tiny_config(n_procs=3), program).run()
+        assert result.messages.invalidations() < base.messages.invalidations()
+        assert result.exec_time < base.exec_time
+
+    def test_needs_warmup_rounds(self):
+        """Threshold 2 means the first two invalidations are eaten."""
+        program = producer_consumer(n_procs=3, blocks=4, iterations=2)
+        config = tiny_config(n_procs=3, identify=IdentifyScheme.CACHE)
+        result = Machine(config, program).run()
+        # Readers' copies invalidated twice at most -> barely any marking.
+        assert result.misses.si_marked_fills == 0
+
+    def test_threshold_configurable(self):
+        program = producer_consumer(n_procs=3, blocks=4, iterations=4)
+        eager = Machine(
+            tiny_config(n_procs=3, identify=IdentifyScheme.CACHE, cache_inval_threshold=1),
+            program,
+        ).run()
+        lazy = Machine(
+            tiny_config(n_procs=3, identify=IdentifyScheme.CACHE, cache_inval_threshold=4),
+            program,
+        ).run()
+        assert eager.misses.si_marked_fills > lazy.misses.si_marked_fills
+
+    def test_no_tearoff_with_cache_scheme(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                consistency=Consistency.WC, identify=IdentifyScheme.CACHE, tearoff=True
+            )
+
+    def test_describe(self):
+        assert SystemConfig(identify=IdentifyScheme.CACHE).describe() == "SC+DSI(C)"
+
+
+class TestSCTearoff:
+    def config(self, n_procs=3, **over):
+        return tiny_config(
+            n_procs=n_procs, identify=IdentifyScheme.VERSION, sc_tearoff=True, **over
+        )
+
+    def test_requires_sc_and_dsi(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(sc_tearoff=True, consistency=Consistency.WC)
+        with pytest.raises(ConfigError):
+            SystemConfig(sc_tearoff=True)
+
+    def test_eliminates_acks_under_sc(self):
+        program = producer_consumer(n_procs=3, blocks=8, iterations=6)
+        base = Machine(tiny_config(n_procs=3), program).run()
+        tear = Machine(self.config(), program).run()
+        assert tear.misses.tearoff_fills > 0
+        assert tear.messages.invalidations() < base.messages.invalidations()
+        assert tear.messages.total_network() < base.messages.total_network()
+
+    def test_at_most_one_tearoff_copy(self):
+        """The single-copy rule: after filling several tear-off blocks,
+        at most one valid tear-off frame exists in any cache."""
+        program = producer_consumer(n_procs=3, blocks=8, iterations=4)
+        machine = Machine(self.config(), program)
+        result = machine.run()
+        assert result.misses.tearoff_fills > 0
+        for controller in machine.controllers:
+            tearoffs = [
+                f for f in controller.cache.valid_blocks().values() if f.tearoff
+            ]
+            assert len(tearoffs) <= 1
+
+    def test_miss_drops_tearoff_copy(self):
+        """Scheurich's condition end-to-end: a tear-off copy dies at the
+        holder's next miss."""
+        builders = [TraceBuilder(), TraceBuilder()]
+        block_a = seg_addr(0)
+        block_b = seg_addr(0, 64)
+        # Warm the version history so the second read is marked tear-off.
+        builders[0].write(block_a).barrier(0)
+        builders[1].read(block_a).barrier(0)
+        builders[0].write(block_a).barrier(1)
+        builders[1].barrier(1)
+        builders[0].barrier(2)
+        builders[1].read(block_a).barrier(2)  # tear-off fill
+        builders[0].barrier(3)
+        builders[1].read(block_b).barrier(3)  # a miss: must drop block_a
+        program = Program("scheurich", [b.build() for b in builders])
+        machine = Machine(self.config(n_procs=2), program)
+        result = machine.run()
+        assert result.misses.tearoff_fills >= 1
+        frame = machine.controllers[1].cache.lookup(block_a >> 5, touch=False)
+        assert frame is None  # dropped by the miss on block_b
+
+    def test_sc_semantics_preserved(self):
+        """The strict monitor stays quiet across a racy run."""
+        program = producer_consumer(n_procs=3, blocks=6, iterations=5)
+        Machine(self.config(), program).run()  # monitor raises on violation

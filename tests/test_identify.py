@@ -1,0 +1,245 @@
+"""Unit tests for the DSI identification policies (§4.1).
+
+These check the paper's decision tables directly against DirEntry states.
+"""
+
+import pytest
+
+from repro.config import IdentifyScheme, SystemConfig
+from repro.core.identify import NoIdentify, StatesIdentify, VersionIdentify, make_policy
+from repro.core.tearoff import TearoffTracker
+from repro.directory.state import (
+    DIR_EXCLUSIVE,
+    DIR_IDLE,
+    DIR_SHARED,
+    DirEntry,
+    FLAVOR_PLAIN,
+    FLAVOR_S,
+    FLAVOR_SI,
+    FLAVOR_X,
+)
+
+
+def entry_with(state=DIR_IDLE, flavor=FLAVOR_PLAIN, shared_si=False, owner=None,
+               last_writer=None, version=0, read_ctr=0, sharers=()):
+    entry = DirEntry()
+    entry.state = state
+    entry.idle_flavor = flavor
+    entry.shared_si = shared_si
+    entry.owner = owner
+    entry.last_writer = last_writer
+    entry.version = version
+    entry.read_ctr = read_ctr
+    for node in sharers:
+        entry.add_sharer(node)
+    return entry
+
+
+class TestNoIdentify:
+    def test_never_marks(self):
+        policy = NoIdentify()
+        for state in (DIR_IDLE, DIR_SHARED, DIR_EXCLUSIVE):
+            entry = entry_with(state=state, owner=1)
+            assert not policy.classify_read(entry, 0, None).si
+            assert not policy.classify_write(entry, 0, None).si
+
+
+class TestStatesReads:
+    """Read requests obtain an SI block iff the state is Exclusive,
+    Idle_X, Shared_SI or Idle_SI."""
+
+    policy = StatesIdentify()
+
+    def test_exclusive_marks(self):
+        entry = entry_with(state=DIR_EXCLUSIVE, owner=1)
+        assert self.policy.classify_read(entry, 0, None).si
+
+    def test_exclusive_same_owner_does_not_mark(self):
+        entry = entry_with(state=DIR_EXCLUSIVE, owner=0)
+        assert not self.policy.classify_read(entry, 0, None).si
+
+    def test_shared_si_marks(self):
+        entry = entry_with(state=DIR_SHARED, shared_si=True, sharers=[1])
+        assert self.policy.classify_read(entry, 0, None).si
+
+    def test_plain_shared_does_not_mark(self):
+        entry = entry_with(state=DIR_SHARED, sharers=[1])
+        assert not self.policy.classify_read(entry, 0, None).si
+
+    def test_idle_x_marks(self):
+        entry = entry_with(flavor=FLAVOR_X)
+        assert self.policy.classify_read(entry, 0, None).si
+
+    def test_idle_si_marks(self):
+        entry = entry_with(flavor=FLAVOR_SI)
+        assert self.policy.classify_read(entry, 0, None).si
+
+    def test_idle_s_does_not_mark(self):
+        entry = entry_with(flavor=FLAVOR_S)
+        assert not self.policy.classify_read(entry, 0, None).si
+
+    def test_plain_idle_does_not_mark(self):
+        entry = entry_with()
+        assert not self.policy.classify_read(entry, 0, None).si
+
+
+class TestStatesWrites:
+    """Write requests obtain an SI block iff the state is Shared,
+    Shared_SI, Exclusive, Idle_S, Idle_SI, or Idle_X written by another
+    processor."""
+
+    policy = StatesIdentify()
+
+    def test_shared_marks(self):
+        entry = entry_with(state=DIR_SHARED, sharers=[1])
+        assert self.policy.classify_write(entry, 0, None).si
+
+    def test_shared_si_marks(self):
+        entry = entry_with(state=DIR_SHARED, shared_si=True, sharers=[1])
+        assert self.policy.classify_write(entry, 0, None).si
+
+    def test_exclusive_marks(self):
+        entry = entry_with(state=DIR_EXCLUSIVE, owner=1)
+        assert self.policy.classify_write(entry, 0, None).si
+
+    def test_idle_s_marks(self):
+        entry = entry_with(flavor=FLAVOR_S)
+        assert self.policy.classify_write(entry, 0, None).si
+
+    def test_idle_si_marks(self):
+        entry = entry_with(flavor=FLAVOR_SI)
+        assert self.policy.classify_write(entry, 0, None).si
+
+    def test_idle_x_other_writer_marks(self):
+        entry = entry_with(flavor=FLAVOR_X, last_writer=1)
+        assert self.policy.classify_write(entry, 0, None).si
+
+    def test_idle_x_same_writer_does_not_mark(self):
+        """The migratory-reuse case: the processor that self-invalidated
+        its own exclusive copy gets a normal block back."""
+        entry = entry_with(flavor=FLAVOR_X, last_writer=0)
+        assert not self.policy.classify_write(entry, 0, None).si
+
+    def test_plain_idle_does_not_mark(self):
+        entry = entry_with()
+        assert not self.policy.classify_write(entry, 0, None).si
+
+    def test_tearoff_multi_bit_marks(self):
+        entry = entry_with()
+        entry.tearoff.on_grant()
+        entry.tearoff.on_grant()
+        assert self.policy.classify_write(entry, 0, None).si
+
+    def test_single_tearoff_does_not_mark(self):
+        entry = entry_with()
+        entry.tearoff.on_grant()
+        assert not self.policy.classify_write(entry, 0, None).si
+
+
+class TestStatesBookkeeping:
+    def test_exclusive_grant_records_writer_and_resets_tearoff(self):
+        policy = StatesIdentify()
+        entry = entry_with()
+        entry.tearoff.on_grant()
+        entry.tearoff.on_grant()
+        policy.on_exclusive_grant(entry, 3)
+        assert entry.last_writer == 3
+        assert not entry.tearoff.multi
+        assert entry.tearoff.count == 0
+
+
+class TestVersionReads:
+    policy = VersionIdentify(version_mask=0xF, read_counter_mask=0x3)
+
+    def test_mismatch_marks(self):
+        entry = entry_with(version=5)
+        assert self.policy.classify_read(entry, 0, req_version=3).si
+
+    def test_match_does_not_mark(self):
+        entry = entry_with(version=5)
+        assert not self.policy.classify_read(entry, 0, req_version=5).si
+
+    def test_no_version_does_not_mark(self):
+        """No tag match at the cache -> normal block (the paper's rule)."""
+        entry = entry_with(version=5)
+        assert not self.policy.classify_read(entry, 0, req_version=None).si
+
+
+class TestVersionWrites:
+    policy = VersionIdentify(version_mask=0xF, read_counter_mask=0x3)
+
+    def test_mismatch_marks(self):
+        entry = entry_with(version=5)
+        assert self.policy.classify_write(entry, 0, req_version=2).si
+
+    def test_read_counter_full_marks(self):
+        entry = entry_with(version=5, read_ctr=0x3)
+        assert self.policy.classify_write(entry, 0, req_version=5).si
+
+    def test_one_read_does_not_mark(self):
+        entry = entry_with(version=5, read_ctr=0x1)
+        assert not self.policy.classify_write(entry, 0, req_version=5).si
+
+    def test_no_version_counter_still_applies(self):
+        entry = entry_with(read_ctr=0x3)
+        assert self.policy.classify_write(entry, 0, req_version=None).si
+
+
+class TestVersionBookkeeping:
+    def test_version_increments_and_wraps(self):
+        policy = VersionIdentify(version_mask=0x3, read_counter_mask=0x3)
+        entry = entry_with(version=3)
+        policy.on_exclusive_grant(entry, 0)
+        assert entry.version == 0  # wrapped around 2 bits
+
+    def test_exclusive_grant_clears_read_counter(self):
+        policy = VersionIdentify(version_mask=0xF, read_counter_mask=0x3)
+        entry = entry_with(read_ctr=0x3)
+        policy.on_exclusive_grant(entry, 0)
+        assert entry.read_ctr == 0
+
+    def test_shared_grant_shifts_counter(self):
+        policy = VersionIdentify(version_mask=0xF, read_counter_mask=0x3)
+        entry = entry_with()
+        policy.on_shared_grant(entry, 0, tearoff=False)
+        assert entry.read_ctr == 0b01
+        policy.on_shared_grant(entry, 1, tearoff=False)
+        assert entry.read_ctr == 0b11
+        policy.on_shared_grant(entry, 2, tearoff=False)
+        assert entry.read_ctr == 0b11  # saturates at the mask
+
+    def test_tearoff_grants_count_as_reads(self):
+        policy = VersionIdentify(version_mask=0xF, read_counter_mask=0x3)
+        entry = entry_with()
+        policy.on_shared_grant(entry, 0, tearoff=True)
+        policy.on_shared_grant(entry, 1, tearoff=True)
+        assert entry.read_ctr == 0b11
+        assert entry.tearoff.multi
+
+
+class TestTearoffTracker:
+    def test_multi_requires_two(self):
+        tracker = TearoffTracker()
+        tracker.on_grant()
+        assert not tracker.multi
+        tracker.on_grant()
+        assert tracker.multi
+
+    def test_exclusive_grant_resets(self):
+        tracker = TearoffTracker()
+        tracker.on_grant()
+        tracker.on_grant()
+        tracker.on_exclusive_grant()
+        assert not tracker.multi and tracker.count == 0
+
+
+class TestFactory:
+    def test_factory_dispatch(self):
+        assert isinstance(make_policy(SystemConfig()), NoIdentify)
+        assert isinstance(
+            make_policy(SystemConfig(identify=IdentifyScheme.STATES)), StatesIdentify
+        )
+        version = make_policy(SystemConfig(identify=IdentifyScheme.VERSION))
+        assert isinstance(version, VersionIdentify)
+        assert version.version_mask == 0xF
+        assert version.read_counter_mask == 0x3

@@ -1,0 +1,108 @@
+"""Unit tests for the cache-side self-invalidation mechanisms (§4.2)."""
+
+import pytest
+
+from repro.config import SIMechanism, SystemConfig
+from repro.core.mechanisms import FifoMechanism, SyncFlushMechanism, make_mechanism
+from repro.errors import ConfigError
+from repro.memory.cache import Cache, SHARED
+
+KB = 1024
+
+
+def make_cache():
+    return Cache(SystemConfig(cache_size=8 * KB), node=0)
+
+
+def si_fill(cache, block):
+    frame, _ = cache.fill(block, SHARED, data=0, s_bit=True)
+    return frame
+
+
+class TestSyncFlush:
+    def test_never_invalidates_early(self):
+        cache = make_cache()
+        mech = SyncFlushMechanism(cache)
+        for block in range(100):
+            assert mech.on_si_fill(si_fill(cache, block)) is None
+
+    def test_sync_frames_returns_all_marked(self):
+        cache = make_cache()
+        mech = SyncFlushMechanism(cache)
+        frames = [si_fill(cache, block) for block in range(10)]
+        assert set(mech.sync_frames()) == set(frames)
+
+    def test_unmarked_blocks_not_flushed(self):
+        cache = make_cache()
+        mech = SyncFlushMechanism(cache)
+        si_fill(cache, 1)
+        cache.fill(2, SHARED, data=0)  # normal block
+        assert {f.tag for f in mech.sync_frames()} == {1}
+
+    def test_invalidated_block_not_flushed(self):
+        cache = make_cache()
+        mech = SyncFlushMechanism(cache)
+        frame = si_fill(cache, 1)
+        cache.invalidate(frame)
+        assert mech.sync_frames() == []
+
+
+class TestFifo:
+    def test_no_overflow_below_capacity(self):
+        cache = make_cache()
+        mech = FifoMechanism(cache, capacity=4)
+        for block in range(4):
+            assert mech.on_si_fill(si_fill(cache, block)) is None
+        assert mech.overflows == 0
+
+    def test_overflow_returns_oldest(self):
+        cache = make_cache()
+        mech = FifoMechanism(cache, capacity=2)
+        si_fill(cache, 0)
+        mech.on_si_fill(cache.lookup(0, touch=False))
+        si_fill(cache, 1)
+        mech.on_si_fill(cache.lookup(1, touch=False))
+        victim = mech.on_si_fill(si_fill(cache, 2))
+        assert victim is not None and victim.tag == 0
+        assert mech.overflows == 1
+
+    def test_stale_entry_skipped(self):
+        cache = make_cache()
+        mech = FifoMechanism(cache, capacity=1)
+        frame0 = si_fill(cache, 0)
+        mech.on_si_fill(frame0)
+        cache.invalidate(frame0)  # block 0 left the cache already
+        victim = mech.on_si_fill(si_fill(cache, 1))
+        assert victim is None
+
+    def test_sync_flush_drains_fifo(self):
+        cache = make_cache()
+        mech = FifoMechanism(cache, capacity=8)
+        frames = []
+        for block in range(4):
+            frame = si_fill(cache, block)
+            mech.on_si_fill(frame)
+            frames.append(frame)
+        flushed = mech.sync_frames()
+        assert set(flushed) == set(frames)
+        assert not mech.fifo
+
+    def test_sync_flush_sweeps_marked_blocks_missing_from_fifo(self):
+        cache = make_cache()
+        mech = FifoMechanism(cache, capacity=8)
+        frame = si_fill(cache, 42)  # marked but never recorded
+        assert frame in set(mech.sync_frames())
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            FifoMechanism(make_cache(), capacity=0)
+
+
+class TestFactory:
+    def test_dispatch(self):
+        cache = make_cache()
+        sync = make_mechanism(SystemConfig(), cache)
+        assert isinstance(sync, SyncFlushMechanism)
+        fifo = make_mechanism(SystemConfig(si_mechanism=SIMechanism.FIFO, fifo_entries=7), cache)
+        assert isinstance(fifo, FifoMechanism)
+        assert fifo.capacity == 7

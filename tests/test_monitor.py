@@ -1,0 +1,136 @@
+"""Unit tests for the coherence monitor itself."""
+
+import pytest
+
+from repro.config import Consistency, IdentifyScheme, SystemConfig
+from repro.errors import ProtocolError
+from repro.memory.cache import EXCLUSIVE, SHARED
+from repro.protocol.monitor import CoherenceMonitor
+
+
+def sc_monitor():
+    return CoherenceMonitor(SystemConfig())
+
+
+def wc_monitor():
+    return CoherenceMonitor(SystemConfig(consistency=Consistency.WC))
+
+
+class TestSWMR:
+    def test_two_exclusive_copies_rejected(self):
+        monitor = sc_monitor()
+        monitor.on_fill(0, 7, EXCLUSIVE, 1, False)
+        with pytest.raises(ProtocolError, match="two exclusive"):
+            monitor.on_fill(1, 7, EXCLUSIVE, 2, False)
+
+    def test_exclusive_while_shared_rejected_strict(self):
+        monitor = sc_monitor()
+        monitor.on_fill(0, 7, SHARED, 1, False)
+        with pytest.raises(ProtocolError, match="SWMR"):
+            monitor.on_fill(1, 7, EXCLUSIVE, 1, False)
+
+    def test_shared_while_exclusive_rejected_strict(self):
+        monitor = sc_monitor()
+        monitor.on_fill(0, 7, EXCLUSIVE, 1, False)
+        with pytest.raises(ProtocolError, match="SWMR"):
+            monitor.on_fill(1, 7, SHARED, 1, False)
+
+    def test_wc_allows_stale_sharers(self):
+        monitor = wc_monitor()
+        monitor.on_fill(0, 7, SHARED, 1, False)
+        monitor.on_fill(1, 7, EXCLUSIVE, 1, False)  # parallel grant: legal
+
+    def test_wc_still_forbids_two_owners(self):
+        monitor = wc_monitor()
+        monitor.on_fill(0, 7, EXCLUSIVE, 1, False)
+        with pytest.raises(ProtocolError):
+            monitor.on_fill(1, 7, EXCLUSIVE, 1, False)
+
+    def test_invalidate_releases(self):
+        monitor = sc_monitor()
+        monitor.on_fill(0, 7, EXCLUSIVE, 1, False)
+        monitor.on_invalidate(0, 7)
+        monitor.on_fill(1, 7, EXCLUSIVE, 2, False)
+
+    def test_upgrade_same_node_ok(self):
+        monitor = sc_monitor()
+        monitor.on_fill(0, 7, SHARED, 1, False)
+        monitor.on_fill(0, 7, EXCLUSIVE, 1, False)
+
+    def test_tearoff_copies_exempt(self):
+        monitor = wc_monitor()
+        monitor.on_fill(0, 7, SHARED, 1, True)  # tear-off
+        monitor.on_fill(1, 7, EXCLUSIVE, 1, False)
+        assert monitor.holders(7)[2] == {0}
+
+
+class TestWriteOwnership:
+    def test_owner_may_write(self):
+        monitor = sc_monitor()
+        monitor.on_fill(0, 7, EXCLUSIVE, 1, False)
+        monitor.on_write(0, 7, 2)
+
+    def test_non_owner_write_rejected(self):
+        monitor = sc_monitor()
+        monitor.on_fill(0, 7, SHARED, 1, False)
+        with pytest.raises(ProtocolError, match="owned"):
+            monitor.on_write(0, 7, 2)
+
+
+class TestCoherenceOrder:
+    def write(self, monitor, node, block, stamp):
+        monitor.on_fill(node, block, EXCLUSIVE, 0, False)
+        monitor.on_write(node, block, stamp)
+        monitor.on_invalidate(node, block)
+
+    def test_monotone_reads_ok(self):
+        monitor = sc_monitor()
+        self.write(monitor, 0, 7, stamp=11)
+        self.write(monitor, 0, 7, stamp=12)
+        monitor.on_read(1, 7, 11)
+        monitor.on_read(1, 7, 12)
+
+    def test_backwards_read_rejected(self):
+        monitor = sc_monitor()
+        self.write(monitor, 0, 7, stamp=11)
+        self.write(monitor, 0, 7, stamp=12)
+        monitor.on_read(1, 7, 12)
+        with pytest.raises(ProtocolError, match="coherence order"):
+            monitor.on_read(1, 7, 11)
+
+    def test_write_order_beats_stamp_order(self):
+        """Racing writes may complete out of stamp-allocation order; the
+        coherence order is completion order."""
+        monitor = sc_monitor()
+        self.write(monitor, 0, 7, stamp=20)  # later stamp performed first
+        self.write(monitor, 1, 7, stamp=10)
+        monitor.on_read(2, 7, 20)
+        monitor.on_read(2, 7, 10)  # 10 is the NEWER value: legal
+
+    def test_unwritten_value_rejected(self):
+        monitor = sc_monitor()
+        with pytest.raises(ProtocolError, match="never written"):
+            monitor.on_read(0, 7, 99)
+
+    def test_initial_value_readable(self):
+        monitor = sc_monitor()
+        monitor.on_read(0, 7, 0)
+
+    def test_order_is_per_processor(self):
+        monitor = sc_monitor()
+        self.write(monitor, 0, 7, stamp=11)
+        self.write(monitor, 0, 7, stamp=12)
+        monitor.on_read(1, 7, 12)
+        monitor.on_read(2, 7, 11)  # a different processor may lag
+
+    def test_order_is_per_block(self):
+        monitor = sc_monitor()
+        self.write(monitor, 0, 7, stamp=11)
+        monitor.on_read(1, 7, 11)
+        monitor.on_read(1, 8, 0)
+
+    def test_violation_counter(self):
+        monitor = sc_monitor()
+        with pytest.raises(ProtocolError):
+            monitor.on_read(0, 7, 42)
+        assert monitor.violations == 1

@@ -1,0 +1,141 @@
+"""Static sharing-pattern profiles — and using them to validate that each
+workload generator exhibits the structure the paper attributes to it."""
+
+import pytest
+
+from repro.stats.profile import analyze_program
+from repro.trace.builder import TraceBuilder
+from repro.trace.ops import Program
+from repro.workloads import barnes, em3d, ocean, producer_consumer, sparse, tomcatv
+
+KB = 1024
+
+
+def small_program():
+    b0 = TraceBuilder()
+    b1 = TraceBuilder()
+    b0.compute(10).write(0x1000).read(0x2000)
+    b1.read(0x1000).write(0x3000)
+    b0.lock(0x4000).unlock(0x4000)
+    b1.lock(0x4000).unlock(0x4000)
+    b0.barrier(0)
+    b1.barrier(0)
+    return Program("small", [b0.build(), b1.build()])
+
+
+class TestProfileBasics:
+    def test_counts(self):
+        profile = analyze_program(small_program())
+        assert profile.total_ops == 10
+        assert profile.reads == 2
+        assert profile.writes == 2
+        assert profile.locks == 2
+        assert profile.barriers == 1
+        assert profile.compute_cycles == 10
+
+    def test_reader_writer_sets(self):
+        profile = analyze_program(small_program())
+        block = 0x1000 >> 5
+        assert profile.writers[block] == {0}
+        assert profile.readers[block] == {1}
+
+    def test_shared_blocks(self):
+        profile = analyze_program(small_program())
+        assert (0x1000 >> 5) in profile.shared_blocks()
+        assert (0x2000 >> 5) not in profile.shared_blocks()
+
+    def test_producer_consumer_detection(self):
+        profile = analyze_program(small_program())
+        assert (0x1000 >> 5) in profile.producer_consumer_blocks()
+
+    def test_migratory_detection(self):
+        b0 = TraceBuilder().write(0x100)
+        b1 = TraceBuilder().write(0x100)
+        profile = analyze_program(Program("m", [b0.build(), b1.build()]))
+        assert (0x100 >> 5) in profile.migratory_blocks()
+
+    def test_lock_words_count_as_written(self):
+        profile = analyze_program(small_program())
+        lock_block = 0x4000 >> 5
+        assert profile.writers[lock_block] == {0, 1}
+        assert lock_block in profile.migratory_blocks()
+
+    def test_working_set(self):
+        profile = analyze_program(small_program())
+        assert profile.working_set_bytes(0) == 3 * 32  # 0x1000, 0x2000, 0x4000
+
+    def test_sharing_degree_histogram(self):
+        profile = analyze_program(small_program())
+        histogram = profile.sharing_degree()
+        assert histogram[2] == 2  # 0x1000 and the lock block
+        assert histogram[1] == 2  # the two private blocks
+        assert sum(histogram.values()) == len(profile.blocks())
+
+    def test_summary_and_format(self):
+        profile = analyze_program(small_program())
+        summary = profile.summary()
+        assert summary["shared_blocks"] == 2
+        text = profile.format()
+        assert "sharing degree" in text
+
+    def test_empty_program(self):
+        profile = analyze_program(Program("e", [TraceBuilder().build()]))
+        assert profile.shared_fraction() == 0.0
+        assert profile.sync_density() == 0.0
+
+
+QUICK = dict(n_procs=8)
+
+
+class TestWorkloadStructure:
+    """Table-1 structural claims checked via static profiles."""
+
+    def test_em3d_is_pure_producer_consumer(self):
+        profile = analyze_program(em3d(n_procs=8, nodes_per_proc=32, iterations=2, private_words=64))
+        assert profile.migratory_blocks() == set()
+        assert profile.producer_consumer_blocks()
+
+    def test_sparse_vector_read_by_everyone(self):
+        profile = analyze_program(sparse(n_procs=8, x_words=512, iterations=2, a_words_per_proc=64))
+        widest = max(profile.sharing_degree())
+        assert widest == 8  # the vector blocks are touched by all processors
+
+    def test_barnes_has_migratory_cells(self):
+        profile = analyze_program(barnes(n_procs=8, bodies_per_proc=8, cells=16, iterations=2))
+        assert profile.migratory_blocks()
+        assert profile.locks > 0
+
+    def test_barnes_sync_density_highest(self):
+        barnes_profile = analyze_program(
+            barnes(n_procs=8, bodies_per_proc=8, cells=16, iterations=2)
+        )
+        tomcatv_profile = analyze_program(
+            tomcatv(n_procs=8, rows_per_proc=4, cols=64, iterations=2)
+        )
+        assert barnes_profile.sync_density() > tomcatv_profile.sync_density()
+
+    def test_ocean_shares_only_boundary_rows(self):
+        profile = analyze_program(ocean(n_procs=8, cols=32, days=1, sweeps_per_day=2))
+        # interior rows are private: sharing degree never exceeds 2
+        assert max(profile.sharing_degree()) == 2
+
+    def test_tomcatv_mostly_private(self):
+        profile = analyze_program(tomcatv(n_procs=8, iterations=1))  # full geometry
+        assert profile.shared_fraction() < 0.1
+
+    def test_tomcatv_largest_working_set(self):
+        profiles = {
+            "tomcatv": analyze_program(tomcatv(n_procs=8)),
+            "em3d": analyze_program(em3d(n_procs=8)),
+            "sparse": analyze_program(sparse(n_procs=8)),
+        }
+        tomcatv_ws = profiles["tomcatv"].max_working_set()
+        assert tomcatv_ws > profiles["em3d"].max_working_set()
+        assert tomcatv_ws > profiles["sparse"].max_working_set()
+        # ... and it straddles the scaled cache pair.
+        assert 16 * KB < tomcatv_ws < 128 * KB
+
+    def test_producer_consumer_micro(self):
+        profile = analyze_program(producer_consumer(n_procs=4, blocks=8, iterations=2))
+        assert len(profile.producer_consumer_blocks()) == 8
+        assert profile.migratory_blocks() == set()

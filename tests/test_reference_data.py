@@ -1,0 +1,92 @@
+"""Consistency of the transcribed paper data and experiment plumbing."""
+
+import pytest
+
+from repro.harness import paper_reference
+from repro.harness.configs import PROTOCOLS, WORKLOADS
+from repro.harness.experiment import ExperimentResult, ExperimentRunner
+
+
+class TestPaperReference:
+    def test_figure3_covers_all_cells(self):
+        for workload in WORKLOADS:
+            assert workload in paper_reference.FIGURE3
+            for cache in ("small", "large"):
+                cells = paper_reference.FIGURE3[workload][cache]
+                assert set(cells) == set(PROTOCOLS)
+                assert cells["SC"] == 1.00
+
+    def test_figure4_covers_all_cells(self):
+        for workload in WORKLOADS:
+            for cache in ("small", "large"):
+                cells = paper_reference.FIGURE4[workload][cache]
+                assert set(cells) == set(PROTOCOLS)
+
+    def test_table2_covers_all_configs(self):
+        assert set(paper_reference.TABLE2) == {
+            ("small", 100),
+            ("large", 100),
+            ("small", 1000),
+            ("large", 1000),
+        }
+        for cells in paper_reference.TABLE2.values():
+            assert set(cells) == set(WORKLOADS)
+
+    def test_table3_covers_all_cells(self):
+        for workload in WORKLOADS:
+            for cache in ("small", "large"):
+                total, inval = paper_reference.TABLE3[workload][cache]
+                assert 0 <= total <= 100
+                assert 0 <= inval <= 100
+
+    def test_improvements_are_sane(self):
+        """Published normalized times lie in (0, 1.2]."""
+        for table in (paper_reference.FIGURE3, paper_reference.FIGURE4):
+            for per_cache in table.values():
+                for cells in per_cache.values():
+                    for value in cells.values():
+                        if value is not None:
+                            assert 0.0 < value <= 1.2
+
+    def test_headline_numbers_present(self):
+        """The abstract's claims are in the tables: up to 41% SC reduction
+        (em3d, 2MB, 1000 cycles) and sparse's DSI > WC."""
+        assert paper_reference.FIGURE4["em3d"]["large"]["V"] == pytest.approx(0.59)
+        fig3_sparse = paper_reference.FIGURE3["sparse"]["small"]
+        assert fig3_sparse["V"] < fig3_sparse["W"]
+
+    def test_fmt(self):
+        assert paper_reference.fmt(None) == "--"
+        assert paper_reference.fmt(0.5) == "0.50"
+        assert paper_reference.fmt(7) == "7"
+
+
+class TestExperimentResult:
+    def test_row_dicts_roundtrip(self):
+        result = ExperimentResult("x", "title", ["a", "b"], [[1, 2], [3, 4]])
+        assert result.row_dicts() == [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+
+    def test_format_contains_notes(self):
+        result = ExperimentResult("x", "t", ["a"], [[1]], notes="caveat emptor")
+        assert "caveat emptor" in result.format()
+
+    def test_repr(self):
+        result = ExperimentResult("x", "t", ["a"], [[1]])
+        assert "x" in repr(result)
+
+
+class TestRunnerVerbose:
+    def test_verbose_logs_to_stderr(self, capsys):
+        runner = ExperimentRunner(n_procs=4, quick=True, verbose=True)
+        from repro.harness.configs import SMALL_CACHE, paper_config
+
+        runner.run("ocean", paper_config("SC", cache=SMALL_CACHE, n_procs=4))
+        err = capsys.readouterr().err
+        assert "ocean" in err and "run 1" in err
+
+    def test_workload_extra_args_key_cache(self):
+        runner = ExperimentRunner(n_procs=4, quick=True)
+        small = runner.program("ocean", days=1)
+        default = runner.program("ocean")
+        assert small is not default
+        assert small is runner.program("ocean", days=1)

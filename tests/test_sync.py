@@ -1,0 +1,169 @@
+"""Locks, barriers, and processor synchronization accounting."""
+
+import pytest
+
+from conftest import seg_addr, tiny_config
+from repro.engine.simulator import Simulator
+from repro.errors import SimulationError
+from repro.processor.sync import BarrierManager, LockManager
+from repro.system import Machine
+from repro.trace.builder import TraceBuilder
+from repro.trace.ops import Program
+
+
+class TestLockManagerUnit:
+    def test_uncontended_acquire(self):
+        locks = LockManager()
+        assert locks.acquire(0x100, node=0, granted=lambda: None)
+        assert locks.holder(0x100) == 0
+
+    def test_fifo_handoff(self):
+        locks = LockManager()
+        order = []
+        locks.acquire(0x100, 0, lambda: None)
+        locks.acquire(0x100, 1, lambda: order.append(1))
+        locks.acquire(0x100, 2, lambda: order.append(2))
+        locks.release(0x100, 0)
+        locks.release(0x100, 1)
+        locks.release(0x100, 2)
+        assert order == [1, 2]
+        assert locks.holder(0x100) is None
+
+    def test_release_by_non_holder_rejected(self):
+        locks = LockManager()
+        locks.acquire(0x100, 0, lambda: None)
+        with pytest.raises(SimulationError):
+            locks.release(0x100, 1)
+
+    def test_stats(self):
+        locks = LockManager()
+        locks.acquire(0x100, 0, lambda: None)
+        locks.acquire(0x100, 1, lambda: None)
+        acquisitions, contended = locks.stats()[0x100]
+        assert acquisitions == 1 and contended == 1
+
+    def test_deadlock_diagnostic(self):
+        locks = LockManager()
+        locks.acquire(0x100, 0, lambda: None)
+        assert locks.deadlock_diagnostic() is None
+        locks.acquire(0x100, 1, lambda: None)
+        assert "waiting" in locks.deadlock_diagnostic()
+
+
+class TestBarrierManagerUnit:
+    def test_releases_after_latency(self):
+        sim = Simulator()
+        barrier = BarrierManager(sim, n_procs=2, latency=100)
+        released = []
+        sim.schedule(10, barrier.arrive, 0, 0, lambda: released.append(("a", sim.now)))
+        sim.schedule(50, barrier.arrive, 1, 0, lambda: released.append(("b", sim.now)))
+        sim.run()
+        # 100 cycles from the LAST arrival.
+        assert released == [("a", 150), ("b", 150)]
+        assert barrier.episodes == 1
+
+    def test_double_arrival_rejected(self):
+        sim = Simulator()
+        barrier = BarrierManager(sim, n_procs=2, latency=10)
+        barrier.arrive(0, 0, lambda: None)
+        with pytest.raises(SimulationError):
+            barrier.arrive(0, 0, lambda: None)
+
+    def test_id_mismatch_rejected(self):
+        sim = Simulator()
+        barrier = BarrierManager(sim, n_procs=2, latency=10)
+        barrier.arrive(0, 0, lambda: None)
+        with pytest.raises(SimulationError):
+            barrier.arrive(1, 7, lambda: None)
+
+    def test_diagnostic(self):
+        sim = Simulator()
+        barrier = BarrierManager(sim, n_procs=2, latency=10)
+        assert barrier.deadlock_diagnostic() is None
+        barrier.arrive(0, 0, lambda: None)
+        assert "1/2 arrived" in barrier.deadlock_diagnostic()
+
+
+class TestLockIntegration:
+    def lock_program(self, n=3, rounds=2, compute=0):
+        lock_addr = seg_addr(0, 4096)
+        builders = [TraceBuilder() for _ in range(n)]
+        for _round in range(rounds):
+            for builder in builders:
+                if compute:
+                    builder.compute(compute)
+                builder.lock(lock_addr)
+                builder.read(seg_addr(0)).write(seg_addr(0))
+                builder.unlock(lock_addr)
+        for builder in builders:
+            builder.barrier(0)
+        return Program("locks", [b.build() for b in builders])
+
+    def test_mutual_exclusion_traffic(self):
+        program = self.lock_program()
+        machine = Machine(tiny_config(n_procs=3), program)
+        result = machine.run()
+        # The protected block migrates between the three caches.
+        assert result.misses.explicit_invalidations > 0
+
+    def test_contention_counts_as_sync(self):
+        program = self.lock_program()
+        result = Machine(tiny_config(n_procs=3), program).run()
+        total = result.aggregate_breakdown()
+        assert total.sync > 0
+
+    def test_lock_block_ping_pongs(self):
+        program = self.lock_program(rounds=3)
+        machine = Machine(tiny_config(n_procs=3), program)
+        machine.run()
+        stats = machine.locks.stats()
+        (lock_stats,) = list(stats.values())
+        acquisitions, contended = lock_stats
+        assert acquisitions == 9
+        assert contended > 0
+
+    def test_all_critical_sections_execute(self):
+        program = self.lock_program(n=4, rounds=3)
+        machine = Machine(tiny_config(n_procs=4), program)
+        machine.run()
+        # The protected block saw one write per critical section.
+        block = seg_addr(0) >> 5
+        entry = machine.directories[0].entries[block]
+        holder = None
+        for controller in machine.controllers:
+            frame = controller.cache.lookup(block, touch=False)
+            if frame is not None and frame.dirty:
+                holder = frame
+        final_stamp = holder.data if holder is not None else entry.data
+        assert final_stamp > 0
+
+
+class TestBarrierIntegration:
+    def test_barrier_equalizes(self):
+        builders = [TraceBuilder(), TraceBuilder()]
+        builders[0].compute(1000)
+        for builder in builders:
+            builder.barrier(0)
+        program = Program("bar", [b.build() for b in builders])
+        result = Machine(tiny_config(n_procs=2), program).run()
+        assert result.per_proc_time[0] == result.per_proc_time[1]
+        # The idle processor's wait shows up as sync time.
+        assert result.breakdowns[1].sync >= 1000
+
+    def test_barrier_latency_applied(self):
+        builders = [TraceBuilder(), TraceBuilder()]
+        for builder in builders:
+            builder.barrier(0)
+        program = Program("bar", [b.build() for b in builders])
+        result = Machine(tiny_config(n_procs=2), program).run()
+        assert result.exec_time == 100  # barrier_latency from last arrival
+
+    def test_missing_arrival_deadlocks(self):
+        builders = [TraceBuilder().barrier(0).barrier(1), TraceBuilder().barrier(0).barrier(1)]
+        program = Program("bar", [b.build() for b in builders])
+        # Corrupt: proc 1 stops after the first barrier.
+        program.traces[1] = TraceBuilder().barrier(0).build()
+        from repro.errors import DeadlockError, TraceError
+
+        with pytest.raises((DeadlockError, TraceError)):
+            Program("bad", program.traces)  # validation catches it first
