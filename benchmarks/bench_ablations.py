@@ -1,6 +1,6 @@
 """Benchmarks for the design-space ablations (DESIGN.md A1-A5)."""
 
-from conftest import make_runner, run_experiment
+from conftest import run_experiment
 from repro.harness import ablations
 
 

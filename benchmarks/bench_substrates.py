@@ -5,8 +5,6 @@ spotting performance regressions in the kernel rather than for paper
 reproduction.
 """
 
-import numpy as np
-
 from repro.config import SystemConfig
 from repro.engine.event_queue import EventQueue
 from repro.engine.resource import Resource
@@ -16,7 +14,6 @@ from repro.network.message import Message, MsgKind
 from repro.network.network import Network
 from repro.system import Machine
 from repro.trace.builder import TraceBuilder
-from repro.trace.ops import Program
 from repro.workloads import em3d
 
 KB = 1024

@@ -4,8 +4,13 @@ Each paper experiment gets one benchmark that re-runs its harness module
 and prints the regenerated table.  Scale is controlled by environment
 variables so CI stays fast while full-scale reproduction is one command:
 
-``DSI_BENCH_PROCS``  machine size (default 8)
-``DSI_BENCH_FULL``   set to 1 for full-scale workloads (default quick)
+``DSI_BENCH_PROCS``      machine size (default 8)
+``DSI_BENCH_FULL``       set to 1 for full-scale workloads (default quick)
+``DSI_BENCH_JOBS``       worker processes per simulation batch (default 1
+                         so benchmark timings measure the simulator, not
+                         the pool fan-out)
+``DSI_BENCH_CACHE_DIR``  persistent result cache directory (default off —
+                         a warm cache would make every timing trivial)
 
 Full-scale reproduction of everything:
 ``DSI_BENCH_FULL=1 DSI_BENCH_PROCS=32 pytest benchmarks/ --benchmark-only``
@@ -19,10 +24,17 @@ from repro.harness.experiment import ExperimentRunner
 
 BENCH_PROCS = int(os.environ.get("DSI_BENCH_PROCS", "8"))
 BENCH_QUICK = os.environ.get("DSI_BENCH_FULL", "0") != "1"
+BENCH_JOBS = int(os.environ.get("DSI_BENCH_JOBS", "1"))
+BENCH_CACHE_DIR = os.environ.get("DSI_BENCH_CACHE_DIR") or None
 
 
 def make_runner():
-    return ExperimentRunner(n_procs=BENCH_PROCS, quick=BENCH_QUICK)
+    return ExperimentRunner(
+        n_procs=BENCH_PROCS,
+        quick=BENCH_QUICK,
+        jobs=BENCH_JOBS,
+        cache_dir=BENCH_CACHE_DIR,
+    )
 
 
 @pytest.fixture

@@ -5,6 +5,9 @@ Reproduces one column group of the paper's Figure 3: the EM3D workload
 under SC, weak consistency, and DSI with both identification schemes,
 printing the execution-time breakdown the paper stacks into bars.
 
+The four simulations are declared as RunSpecs and executed as one batch
+through the RunPool, so they fan out across every core.
+
 Run:  python examples/compare_protocols.py [workload] [n_procs]
 e.g.  python examples/compare_protocols.py sparse 16
 """
@@ -13,21 +16,34 @@ import sys
 
 from repro import format_breakdown_table, format_table
 from repro.harness.configs import SMALL_CACHE, paper_config, workload_args
-from repro.system import Machine
-from repro.workloads import by_name
+from repro.harness.runpool import RunPool
+from repro.harness.runspec import RunSpec
+
+PROTOCOLS = ("SC", "W", "S", "V")
 
 
 def main(workload="em3d", n_procs=16):
     args = workload_args(workload, quick=n_procs <= 8, n_procs=n_procs)
-    program = by_name(workload, **args)
-    print(f"workload: {program.describe()}\n")
 
+    # Plan: one spec per protocol, same workload and generator arguments.
+    specs = {
+        protocol: RunSpec.create(
+            workload, paper_config(protocol, cache=SMALL_CACHE, n_procs=n_procs), **args
+        )
+        for protocol in PROTOCOLS
+    }
+    print(f"workload: {next(iter(specs.values())).describe().split('/')[0]}"
+          f" ({n_procs} processors)\n")
+
+    # Execute: one parallel batch (jobs defaults to all cores).
+    records = RunPool().run_batch(specs.values())
+
+    # Collect.
     results = []
-    for protocol in ("SC", "W", "S", "V"):
-        config = paper_config(protocol, cache=SMALL_CACHE, n_procs=n_procs)
-        result = Machine(config, program).run()
-        result.label = protocol
-        results.append(result)
+    for protocol, spec in specs.items():
+        record = records[spec]
+        record.label = protocol
+        results.append(record)
 
     print(
         format_breakdown_table(

@@ -12,7 +12,7 @@ Run:  python examples/custom_workload.py
 import tempfile
 
 from repro import Consistency, IdentifyScheme, Machine, SystemConfig, format_table
-from repro.trace import TraceBuilder, Program, load_program, save_program
+from repro.trace import load_program, save_program
 from repro.workloads.base import BLOCK, WORD, WorkloadContext
 
 

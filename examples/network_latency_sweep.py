@@ -6,36 +6,53 @@ workload and reports the normalized execution time of weak consistency
 and DSI at each point (cf. §5.2 "Impact of Network Latency" and the
 conclusion's networks-of-workstations argument).
 
+All 18 simulations (6 latencies x 3 protocols) are declared up front and
+executed as one RunPool batch.  Pass a cache directory to make repeated
+sweeps instant:  python examples/network_latency_sweep.py [cache_dir]
+
 Run:  python examples/network_latency_sweep.py
 """
 
+import sys
+
 from repro import format_table
 from repro.harness.configs import LARGE_CACHE, paper_config, workload_args
-from repro.system import Machine
-from repro.workloads import by_name
+from repro.harness.runpool import RunPool
+from repro.harness.runspec import RunSpec
 
 LATENCIES = (50, 100, 250, 500, 1000, 2000)
+PROTOCOLS = ("SC", "W", "V")
 
 
-def main(workload="sparse", n_procs=8):
-    program = by_name(workload, **workload_args(workload, quick=True, n_procs=n_procs))
+def main(workload="sparse", n_procs=8, cache_dir=None):
+    args = workload_args(workload, quick=True, n_procs=n_procs)
+
+    # Plan the full (latency, protocol) grid.
+    specs = {
+        (latency, protocol): RunSpec.create(
+            workload,
+            paper_config(protocol, cache=LARGE_CACHE, latency=latency, n_procs=n_procs),
+            **args,
+        )
+        for latency in LATENCIES
+        for protocol in PROTOCOLS
+    }
+
+    # Execute as one batch; a cache_dir makes re-runs pure cache hits.
+    pool = RunPool(cache_dir=cache_dir)
+    records = pool.run_batch(specs.values())
+
     rows = []
     for latency in LATENCIES:
-        base = Machine(
-            paper_config("SC", cache=LARGE_CACHE, latency=latency, n_procs=n_procs), program
-        ).run()
-        weak = Machine(
-            paper_config("W", cache=LARGE_CACHE, latency=latency, n_procs=n_procs), program
-        ).run()
-        dsi = Machine(
-            paper_config("V", cache=LARGE_CACHE, latency=latency, n_procs=n_procs), program
-        ).run()
+        base = records[specs[(latency, "SC")]]
+        weak = records[specs[(latency, "W")]]
+        dsi = records[specs[(latency, "V")]]
         rows.append(
             [
                 latency,
-                f"{weak.exec_time / base.exec_time:.3f}",
-                f"{dsi.exec_time / base.exec_time:.3f}",
-                f"{(1 - dsi.exec_time / base.exec_time) * 100:.0f}%",
+                f"{weak.normalized_to(base):.3f}",
+                f"{dsi.normalized_to(base):.3f}",
+                f"{(1 - dsi.normalized_to(base)) * 100:.0f}%",
             ]
         )
     print(
@@ -45,7 +62,9 @@ def main(workload="sparse", n_procs=8):
             title=f"{workload}: protocol benefit vs network latency ({n_procs} processors)",
         )
     )
+    if pool.cache_hits:
+        print(f"({pool.executed} simulations run, {pool.cache_hits} from cache)")
 
 
 if __name__ == "__main__":
-    main()
+    main(cache_dir=sys.argv[1] if len(sys.argv) > 1 else None)

@@ -10,7 +10,7 @@ constant 100-cycle network).
 """
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
 

@@ -4,21 +4,44 @@ These go beyond the paper's published data, probing the design space the
 paper discusses qualitatively: version-number width, FIFO depth, the two
 §4.1 special cases, and the read-counter width used for exclusive-block
 identification.
+
+Every ablation is two-phase: a ``*_specs`` planner declares the full
+sweep as RunSpecs (so the CLI can prefetch several ablations as one
+parallel batch), and the collector reads the records back into a table.
 """
 
-from repro.harness.configs import FAST_NET, LARGE_CACHE, paper_config
+from repro.harness.configs import LARGE_CACHE, paper_config
 from repro.harness.experiment import ExperimentResult
+
+
+def _base_spec(runner, workload, n_procs=None, **overrides):
+    n = n_procs or runner.n_procs
+    return runner.spec(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=n, **overrides), n_procs=n)
+
+
+def _v_spec(runner, workload, n_procs=None, **overrides):
+    n = n_procs or runner.n_procs
+    return runner.spec(workload, paper_config("V", cache=LARGE_CACHE, n_procs=n, **overrides), n_procs=n)
+
+
+# ----------------------------------------------------------------------
+# A1: version-number width
+# ----------------------------------------------------------------------
+def version_bits_specs(runner, workload="sparse", widths=(1, 2, 3, 4, 6)):
+    return [_base_spec(runner, workload)] + [
+        _v_spec(runner, workload, version_bits=bits) for bits in widths
+    ]
 
 
 def version_bits(runner, workload="sparse", widths=(1, 2, 3, 4, 6)):
     """A1: how small can the version number get before wrap-around aliasing
     erodes the benefit?  (The paper uses 4 bits.)"""
-    base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
+    runner.prefetch(version_bits_specs(runner, workload, widths))
+    base = runner.run_spec(_base_spec(runner, workload))
     headers = ["version_bits", "norm_time", "invalidations"]
     rows = []
     for bits in widths:
-        config = paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs, version_bits=bits)
-        result = runner.run(workload, config)
+        result = runner.run_spec(_v_spec(runner, workload, version_bits=bits))
         rows.append([bits, f"{result.normalized_to(base):.3f}", result.messages.invalidations()])
     return ExperimentResult(
         "ablation:version_bits",
@@ -28,15 +51,27 @@ def version_bits(runner, workload="sparse", widths=(1, 2, 3, 4, 6)):
     )
 
 
+# ----------------------------------------------------------------------
+# A2: FIFO depth
+# ----------------------------------------------------------------------
+def fifo_depth_specs(runner, workload="sparse", depths=(8, 16, 32, 64, 128, 256, 512)):
+    specs = [_base_spec(runner, workload)]
+    for depth in depths:
+        config = paper_config("V-FIFO", cache=LARGE_CACHE, n_procs=runner.n_procs, fifo_entries=depth)
+        specs.append(runner.spec(workload, config))
+    return specs
+
+
 def fifo_depth(runner, workload="sparse", depths=(8, 16, 32, 64, 128, 256, 512)):
     """A2: FIFO depth sweep — where does the FIFO stop self-invalidating
     too early?  (The paper uses 64 entries.)"""
-    base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
+    runner.prefetch(fifo_depth_specs(runner, workload, depths))
+    base = runner.run_spec(_base_spec(runner, workload))
     headers = ["fifo_entries", "norm_time", "overflows"]
     rows = []
     for depth in depths:
         config = paper_config("V-FIFO", cache=LARGE_CACHE, n_procs=runner.n_procs, fifo_entries=depth)
-        result = runner.run(workload, config)
+        result = runner.run_spec(runner.spec(workload, config))
         rows.append([depth, f"{result.normalized_to(base):.3f}", result.misses.fifo_overflows])
     return ExperimentResult(
         "ablation:fifo_depth",
@@ -46,19 +81,29 @@ def fifo_depth(runner, workload="sparse", depths=(8, 16, 32, 64, 128, 256, 512))
     )
 
 
+# ----------------------------------------------------------------------
+# A3: the §4.1 SC upgrade special case
+# ----------------------------------------------------------------------
+def upgrade_case_specs(runner, workloads=("em3d", "sparse", "tomcatv")):
+    specs = []
+    for workload in workloads:
+        specs.append(_base_spec(runner, workload))
+        specs.append(_v_spec(runner, workload))
+        specs.append(_v_spec(runner, workload, sc_upgrade_special_case=False))
+    return specs
+
+
 def upgrade_case(runner, workloads=("em3d", "sparse", "tomcatv")):
     """A3: the §4.1 SC special case — don't mark exclusive blocks obtained
     by a sole sharer's upgrade.  The paper found disabling it degrades some
     programs under SC."""
+    runner.prefetch(upgrade_case_specs(runner, workloads))
     headers = ["workload", "with_case", "without_case"]
     rows = []
     for workload in workloads:
-        base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
-        on = runner.run(workload, paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs))
-        off = runner.run(
-            workload,
-            paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs, sc_upgrade_special_case=False),
-        )
+        base = runner.run_spec(_base_spec(runner, workload))
+        on = runner.run_spec(_v_spec(runner, workload))
+        off = runner.run_spec(_v_spec(runner, workload, sc_upgrade_special_case=False))
         rows.append([workload, f"{on.normalized_to(base):.3f}", f"{off.normalized_to(base):.3f}"])
     return ExperimentResult(
         "ablation:upgrade_case",
@@ -68,17 +113,28 @@ def upgrade_case(runner, workloads=("em3d", "sparse", "tomcatv")):
     )
 
 
+# ----------------------------------------------------------------------
+# A4: home-node exclusion
+# ----------------------------------------------------------------------
+def home_exclusion_specs(runner, workloads=("em3d", "sparse")):
+    specs = []
+    for workload in workloads:
+        specs.append(_base_spec(runner, workload))
+        specs.append(_v_spec(runner, workload))
+        specs.append(_v_spec(runner, workload, home_exclusion=False))
+    return specs
+
+
 def home_exclusion(runner, workloads=("em3d", "sparse")):
     """A4: the §4.1 rule that blocks are never self-invalidated from the
     home node's own cache."""
+    runner.prefetch(home_exclusion_specs(runner, workloads))
     headers = ["workload", "with_exclusion", "without_exclusion"]
     rows = []
     for workload in workloads:
-        base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
-        on = runner.run(workload, paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs))
-        off = runner.run(
-            workload, paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs, home_exclusion=False)
-        )
+        base = runner.run_spec(_base_spec(runner, workload))
+        on = runner.run_spec(_v_spec(runner, workload))
+        off = runner.run_spec(_v_spec(runner, workload, home_exclusion=False))
         rows.append([workload, f"{on.normalized_to(base):.3f}", f"{off.normalized_to(base):.3f}"])
     return ExperimentResult(
         "ablation:home_exclusion",
@@ -88,16 +144,25 @@ def home_exclusion(runner, workloads=("em3d", "sparse")):
     )
 
 
+# ----------------------------------------------------------------------
+# A5: read-counter width
+# ----------------------------------------------------------------------
+def read_counter_specs(runner, workload="sparse", widths=(1, 2, 3, 4)):
+    return [_base_spec(runner, workload)] + [
+        _v_spec(runner, workload, read_counter_bits=bits) for bits in widths
+    ]
+
+
 def read_counter(runner, workload="sparse", widths=(1, 2, 3, 4)):
     """A5: width of the shared-copy shift counter used to identify
     exclusive blocks for self-invalidation (the paper uses 2 bits =
     'read by at least two processors')."""
-    base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
+    runner.prefetch(read_counter_specs(runner, workload, widths))
+    base = runner.run_spec(_base_spec(runner, workload))
     headers = ["read_counter_bits", "norm_time", "self_invalidations"]
     rows = []
     for bits in widths:
-        config = paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs, read_counter_bits=bits)
-        result = runner.run(workload, config)
+        result = runner.run_spec(_v_spec(runner, workload, read_counter_bits=bits))
         rows.append([bits, f"{result.normalized_to(base):.3f}", result.misses.self_invalidations])
     return ExperimentResult(
         "ablation:read_counter",
@@ -107,22 +172,39 @@ def read_counter(runner, workload="sparse", widths=(1, 2, 3, 4)):
     )
 
 
+# ----------------------------------------------------------------------
+# A6 (extension): cache-side identification
+# ----------------------------------------------------------------------
+def cache_side_specs(runner, workloads=("em3d", "sparse", "ocean")):
+    specs = []
+    for workload in workloads:
+        specs.append(_base_spec(runner, workload))
+        specs.append(runner.spec(workload, paper_config("S", cache=LARGE_CACHE, n_procs=runner.n_procs)))
+        specs.append(_v_spec(runner, workload))
+        specs.append(runner.spec(workload, _cache_side_config(runner)))
+    return specs
+
+
+def _cache_side_config(runner):
+    return paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs).with_(
+        identify=_cache_scheme()
+    )
+
+
 def cache_side(runner, workloads=("em3d", "sparse", "ocean")):
     """A6 (extension): cache-side identification (§3.1) vs the paper's
     directory-side schemes.  The cache marks blocks from its own
     invalidation-count history — no directory support at all."""
+    runner.prefetch(cache_side_specs(runner, workloads))
     headers = ["workload", "states", "version", "cache_side"]
     rows = []
     for workload in workloads:
-        base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
-        states = runner.run(workload, paper_config("S", cache=LARGE_CACHE, n_procs=runner.n_procs))
-        version = runner.run(workload, paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs))
-        cache = runner.run(
-            workload,
-            paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs).with_(
-                identify=_cache_scheme()
-            ),
+        base = runner.run_spec(_base_spec(runner, workload))
+        states = runner.run_spec(
+            runner.spec(workload, paper_config("S", cache=LARGE_CACHE, n_procs=runner.n_procs))
         )
+        version = runner.run_spec(_v_spec(runner, workload))
+        cache = runner.run_spec(runner.spec(workload, _cache_side_config(runner)))
         rows.append(
             [
                 workload,
@@ -139,18 +221,28 @@ def cache_side(runner, workloads=("em3d", "sparse", "ocean")):
     )
 
 
+# ----------------------------------------------------------------------
+# A7 (extension): tear-off under SC
+# ----------------------------------------------------------------------
+def sc_tearoff_specs(runner, workloads=("em3d", "sparse")):
+    specs = []
+    for workload in workloads:
+        specs.append(_base_spec(runner, workload))
+        specs.append(_v_spec(runner, workload))
+        specs.append(_v_spec(runner, workload, sc_tearoff=True))
+    return specs
+
+
 def sc_tearoff(runner, workloads=("em3d", "sparse")):
     """A7 (extension): tear-off blocks under sequential consistency —
     at most one untracked copy per cache, dropped at the next miss."""
+    runner.prefetch(sc_tearoff_specs(runner, workloads))
     headers = ["workload", "dsi_v", "dsi_v_tearoff", "msg_red_%"]
     rows = []
     for workload in workloads:
-        base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
-        version = runner.run(workload, paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs))
-        tear = runner.run(
-            workload,
-            paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs, sc_tearoff=True),
-        )
+        base = runner.run_spec(_base_spec(runner, workload))
+        version = runner.run_spec(_v_spec(runner, workload))
+        tear = runner.run_spec(_v_spec(runner, workload, sc_tearoff=True))
         base_msgs = version.messages.total_network()
         tear_msgs = tear.messages.total_network()
         reduction = 100.0 * (base_msgs - tear_msgs) / max(base_msgs, 1)
@@ -170,22 +262,37 @@ def sc_tearoff(runner, workloads=("em3d", "sparse")):
     )
 
 
+# ----------------------------------------------------------------------
+# A8: machine-size scaling
+# ----------------------------------------------------------------------
+def scaling_specs(runner, workload="sparse", proc_counts=(4, 8, 16, 32)):
+    specs = []
+    for n_procs in proc_counts:
+        for protocol in ("SC", "W", "V"):
+            config = paper_config(protocol, cache=LARGE_CACHE, n_procs=n_procs)
+            specs.append(runner.spec(workload, config, n_procs=n_procs))
+    return specs
+
+
 def scaling(runner, workload="sparse", proc_counts=(4, 8, 16, 32)):
     """A8: DSI benefit vs machine size.  More processors pile more readers
     behind each invalidation (sparse's convoy), so the benefit grows —
     the paper's scalability argument made quantitative.
 
-    Machine size changes the workload, so this builds its own runners.
+    Machine size changes the workload, so each spec carries its own
+    ``n_procs`` — the pool runs all sizes as one batch.
     """
-    from repro.harness.experiment import ExperimentRunner
-
+    runner.prefetch(scaling_specs(runner, workload, proc_counts))
     headers = ["procs", "W", "V", "V_saving_%"]
     rows = []
     for n_procs in proc_counts:
-        sub = ExperimentRunner(n_procs=n_procs, quick=runner.quick, verbose=runner.verbose)
-        base = sub.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=n_procs))
-        weak = sub.run(workload, paper_config("W", cache=LARGE_CACHE, n_procs=n_procs))
-        version = sub.run(workload, paper_config("V", cache=LARGE_CACHE, n_procs=n_procs))
+        def record(protocol):
+            config = paper_config(protocol, cache=LARGE_CACHE, n_procs=n_procs)
+            return runner.run_spec(runner.spec(workload, config, n_procs=n_procs))
+
+        base = record("SC")
+        weak = record("W")
+        version = record("V")
         rows.append(
             [
                 n_procs,
@@ -202,20 +309,26 @@ def scaling(runner, workload="sparse", proc_counts=(4, 8, 16, 32)):
     )
 
 
+# ----------------------------------------------------------------------
+# A9: cache-block size
+# ----------------------------------------------------------------------
+def block_size_specs(runner, workload="ocean", sizes=(32, 64, 128)):
+    specs = []
+    for size in sizes:
+        specs.append(_base_spec(runner, workload, block_size=size))
+        specs.append(_v_spec(runner, workload, block_size=size))
+    return specs
+
+
 def block_size(runner, workload="ocean", sizes=(32, 64, 128)):
     """A9: cache-block size.  Bigger blocks mean more false sharing on the
     boundary rows and more invalidation traffic per conflict."""
+    runner.prefetch(block_size_specs(runner, workload, sizes))
     headers = ["block_bytes", "SC_exec", "invalidations", "V_norm"]
     rows = []
     for size in sizes:
-        base_config = paper_config(
-            "SC", cache=LARGE_CACHE, n_procs=runner.n_procs, block_size=size
-        )
-        base = runner.run(workload, base_config)
-        version = runner.run(
-            workload,
-            paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs, block_size=size),
-        )
+        base = runner.run_spec(_base_spec(runner, workload, block_size=size))
+        version = runner.run_spec(_v_spec(runner, workload, block_size=size))
         rows.append(
             [
                 size,
@@ -234,21 +347,30 @@ def block_size(runner, workload="ocean", sizes=(32, 64, 128)):
     )
 
 
+# ----------------------------------------------------------------------
+# A10: the migratory optimization
+# ----------------------------------------------------------------------
+def migratory_specs(runner, workloads=("barnes", "sparse")):
+    specs = []
+    for workload in workloads:
+        specs.append(_base_spec(runner, workload))
+        specs.append(_v_spec(runner, workload))
+        specs.append(_base_spec(runner, workload, migratory=True))
+        specs.append(_v_spec(runner, workload, migratory=True))
+    return specs
+
+
 def migratory_combo(runner, workloads=("barnes", "sparse")):
     """A10: the migratory-data optimization §2 cites as complementary —
     alone, and combined with DSI-V."""
+    runner.prefetch(migratory_specs(runner, workloads))
     headers = ["workload", "dsi_v", "migratory", "combined", "upgr_base", "upgr_mig"]
     rows = []
     for workload in workloads:
-        base = runner.run(workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs))
-        version = runner.run(workload, paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs))
-        mig = runner.run(
-            workload, paper_config("SC", cache=LARGE_CACHE, n_procs=runner.n_procs, migratory=True)
-        )
-        combo = runner.run(
-            workload,
-            paper_config("V", cache=LARGE_CACHE, n_procs=runner.n_procs, migratory=True),
-        )
+        base = runner.run_spec(_base_spec(runner, workload))
+        version = runner.run_spec(_v_spec(runner, workload))
+        mig = runner.run_spec(_base_spec(runner, workload, migratory=True))
+        combo = runner.run_spec(_v_spec(runner, workload, migratory=True))
         rows.append(
             [
                 workload,
@@ -284,4 +406,19 @@ ALL = {
     "scaling": scaling,
     "migratory": migratory_combo,
     "block_size": block_size,
+}
+
+#: Plan-phase counterpart of :data:`ALL` — the CLI unions these spec
+#: lists and prefetches every selected ablation as one parallel batch.
+SPECS = {
+    "version_bits": version_bits_specs,
+    "fifo_depth": fifo_depth_specs,
+    "upgrade_case": upgrade_case_specs,
+    "home_exclusion": home_exclusion_specs,
+    "read_counter": read_counter_specs,
+    "cache_side": cache_side_specs,
+    "sc_tearoff": sc_tearoff_specs,
+    "scaling": scaling_specs,
+    "migratory": migratory_specs,
+    "block_size": block_size_specs,
 }

@@ -4,8 +4,11 @@ Examples::
 
     dsi-sim figure3                  # full-scale reproduction of Figure 3
     dsi-sim all --quick --procs 8    # fast sanity sweep of every experiment
+    dsi-sim all --jobs 8 --cache-dir ~/.cache/dsi
+                                     # parallel sweep with a persistent cache
     dsi-sim ablation:fifo_depth      # one ablation
     dsi-sim bars --quick --procs 8   # Figure 3 as terminal stacked bars
+    dsi-sim table2 --json            # machine-readable output
     dsi-sim list                     # show available experiments
 
     dsi-sim run --workload em3d --protocol V --procs 16
@@ -14,15 +17,21 @@ Examples::
                                      # export a workload trace for reuse
     dsi-sim run --trace sparse.npz --protocol W
                                      # simulate a saved trace
+
+Experiments are executed in two phases: all selected experiments first
+declare their simulations as RunSpecs, the union is executed as one batch
+through the run pool (``--jobs`` worker processes, persistent
+``--cache-dir`` result cache), then each experiment formats its table
+from the finished records.
 """
 
 import argparse
+import json
 import sys
 import time
 
 from repro.harness import ablations, figure2, figure3, figure4, figure5, figure6, table2, table3
 from repro.harness.configs import (
-    LARGE_CACHE,
     PROTOCOLS,
     SMALL_CACHE,
     WORKLOADS,
@@ -31,6 +40,7 @@ from repro.harness.configs import (
 )
 from repro.harness.experiment import ExperimentRunner
 from repro.stats.ascii_chart import stacked_bars
+from repro.stats.record import RunRecord
 from repro.stats.report import format_table
 from repro.system import Machine
 from repro.trace.io import load_program, save_program
@@ -47,6 +57,20 @@ EXPERIMENTS = {
 }
 for name, fn in ablations.ALL.items():
     EXPERIMENTS[f"ablation:{name}"] = fn
+
+#: Plan-phase counterpart of EXPERIMENTS: experiment id -> specs(runner).
+#: The union of every selected experiment's specs becomes one pool batch.
+PLANNERS = {
+    "figure2": figure2.specs,
+    "figure3": figure3.specs,
+    "figure4": figure4.specs,
+    "figure5": figure5.specs,
+    "figure6": figure6.specs,
+    "table2": table2.specs,
+    "table3": table3.specs,
+}
+for name, fn in ablations.SPECS.items():
+    PLANNERS[f"ablation:{name}"] = fn
 
 #: "all" runs the paper experiments (not the ablations).
 PAPER_SET = ("figure2", "figure3", "figure4", "figure5", "figure6", "table2", "table3")
@@ -68,6 +92,29 @@ def build_parser():
         "--quick", action="store_true", help="reduced workload sizes (fast sanity run)"
     )
     parser.add_argument("--verbose", action="store_true", help="log each simulation run")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for simulation batches "
+        "(default: all cores; 1 = serial, in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent result cache; repeated sweeps of an unchanged "
+        "tree re-run nothing",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache entirely"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable JSON on stdout instead of tables",
+    )
     # run / gen options
     parser.add_argument("--workload", choices=sorted(WORKLOADS), help="workload for run/gen")
     parser.add_argument("--trace", help="run: simulate a saved .npz trace instead")
@@ -91,8 +138,22 @@ def build_parser():
     return parser
 
 
+def _make_runner(args):
+    return ExperimentRunner(
+        n_procs=args.procs,
+        quick=args.quick,
+        verbose=args.verbose,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        print("--jobs must be >= 1 (1 = serial, in-process)", file=sys.stderr)
+        return 2
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
@@ -116,27 +177,59 @@ def main(argv=None):
     else:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2
-    runner = ExperimentRunner(n_procs=args.procs, quick=args.quick, verbose=args.verbose)
+    runner = _make_runner(args)
     started = time.time()
+    # Plan: union every selected experiment's specs into one pool batch,
+    # so a multi-experiment sweep parallelizes across experiments too.
+    plan = []
     for name in selected:
-        result = EXPERIMENTS[name](runner)
-        print(result.format())
-        print()
-    print(
-        f"# {runner.total_sim_runs} simulation runs in {time.time() - started:.1f}s "
-        f"(procs={args.procs}{', quick' if args.quick else ''})"
+        plan.extend(PLANNERS[name](runner))
+    runner.prefetch(plan)
+    # Collect: each experiment reads its finished records into a table.
+    results = [EXPERIMENTS[name](runner) for name in selected]
+    wall = time.time() - started
+    summary = (
+        f"# {runner.total_sim_runs} simulation runs, {runner.cache_hits} cache hits "
+        f"in {wall:.1f}s (procs={args.procs}"
+        f"{', quick' if args.quick else ''}, jobs={runner.pool.jobs})"
     )
+    if args.as_json:
+        payload = {
+            "experiments": [result.to_dict() for result in results],
+            "meta": {
+                "simulation_runs": runner.total_sim_runs,
+                "cache_hits": runner.cache_hits,
+                "wall_seconds": round(wall, 3),
+                "procs": args.procs,
+                "quick": args.quick,
+                "jobs": runner.pool.jobs,
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        print(summary, file=sys.stderr)
+    else:
+        for result in results:
+            print(result.format())
+            print()
+        print(summary)
     return 0
 
 
 def _bars(args):
     """Render Figure 3 as terminal stacked bars, one group per workload."""
-    runner = ExperimentRunner(n_procs=args.procs, quick=args.quick, verbose=args.verbose)
+    runner = _make_runner(args)
+    plan = {
+        (workload, protocol): runner.spec(
+            workload, paper_config(protocol, cache=SMALL_CACHE, n_procs=args.procs)
+        )
+        for workload in WORKLOADS
+        for protocol in PROTOCOLS
+    }
+    runner.prefetch(plan.values())
     for workload in WORKLOADS:
         results = []
         for protocol in PROTOCOLS:
-            config = paper_config(protocol, cache=SMALL_CACHE, n_procs=args.procs)
-            result = runner.run(workload, config)
+            result = runner.run_spec(plan[(workload, protocol)])
             result.label = protocol
             results.append(result)
         print(stacked_bars(results, title=f"{workload} (normalized to SC)"))
@@ -175,6 +268,17 @@ def _run_one(args):
         tracer = attach_tracer(machine, MessageTracer(limit=args.show_trace))
     result = machine.run()
     wall = time.time() - started
+    if args.as_json:
+        payload = {
+            "workload": program.describe(),
+            "protocol": config.describe(),
+            "cache_bytes": config.cache_size,
+            "network_latency": config.network_latency,
+            "wall_seconds": round(wall, 3),
+            "record": RunRecord.from_result(result).to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     if tracer is not None:
         print(tracer.format())
         print()

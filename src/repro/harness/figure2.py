@@ -4,57 +4,64 @@ The paper's Figure 2 illustrates why invalidations hurt: a write request
 to a block with outstanding copies costs request + invalidation +
 acknowledgment + response, and under SC the requester stalls for all of
 it.  This experiment measures that anatomy directly on the simulator with
-a two-processor micro-program: P1 writes a block currently shared (or
-held exclusive) by P2, with and without the conflicting copy, and with
-DSI (which self-invalidates the copy before the write arrives).
+the ``write_conflict`` two-processor micro-program: P1 writes a block
+currently shared (or held exclusive) by P2, with and without the
+conflicting copy, and with DSI (which self-invalidates the copy before
+the write arrives).
 """
 
 from repro.config import IdentifyScheme, SystemConfig
-from repro.harness.experiment import ExperimentResult
-from repro.system import Machine
-from repro.workloads.base import WorkloadContext
+from repro.harness.experiment import ExperimentResult, ExperimentRunner
 
 EXPERIMENT_ID = "figure2"
 
+#: The micro-program always runs on three nodes (writer, reader, home).
+N_PROCS = 3
 
-def _program(conflict, rounds):
-    """``rounds`` rounds of: P2 reads the block (optional), barrier, P1
-    writes it, barrier.  The block is homed on node 2 so both request
-    paths traverse the network."""
-    ctx = WorkloadContext("figure2", 3, seed=7)
-    addr = ctx.alloc_words(2, 8)
-    ctx.barrier_all()
-    for _round in range(rounds):
-        if conflict:
-            ctx.builders[1].read(addr)
-        ctx.barrier_all()
-        ctx.builders[0].compute(10).write(addr)
-        ctx.barrier_all()
-    return ctx.program()
+WORKLOAD = "write_conflict"
 
 
-def _write_stall(config, conflict, rounds=1):
-    program = _program(conflict, rounds)
-    result = Machine(config, program).run()
-    breakdown = result.breakdowns[0]
+def _spec(runner, config, conflict, rounds):
+    return runner.spec(WORKLOAD, config, n_procs=N_PROCS, conflict=conflict, rounds=rounds)
+
+
+def specs(runner):
+    """Plan: every (config, conflict, rounds) point the table needs."""
+    base = SystemConfig(n_processors=N_PROCS)
+    dsi = base.with_(identify=IdentifyScheme.VERSION)
+    out = [_spec(runner, base, conflict=False, rounds=1)]
+    for config in (base, dsi):
+        for rounds in (1, 2):
+            out.append(_spec(runner, config, conflict=True, rounds=rounds))
+    return out
+
+
+def _write_stall(runner, config, conflict, rounds=1):
+    record = runner.run_spec(_spec(runner, config, conflict, rounds))
+    breakdown = record.breakdowns[0]
     return breakdown.write_inval + breakdown.write_other
 
 
-def _steady_state_stall(config, conflict):
+def _steady_state_stall(runner, config, conflict):
     """Stall of the *second* conflict round — after DSI's sharing history
     has warmed up (the first round necessarily gets an unmarked block)."""
-    return _write_stall(config, conflict, rounds=2) - _write_stall(config, conflict, rounds=1)
+    return _write_stall(runner, config, conflict, rounds=2) - _write_stall(
+        runner, config, conflict, rounds=1
+    )
 
 
 def run(runner=None):
-    base = SystemConfig(n_processors=3)
+    if runner is None:
+        runner = ExperimentRunner(n_procs=N_PROCS)
+    runner.prefetch(specs(runner))
+    base = SystemConfig(n_processors=N_PROCS)
     dsi = base.with_(identify=IdentifyScheme.VERSION)
     # Idle reference: a cold write to an uncached block (directory Idle) —
     # request + response only.  The conflicting scenarios use the marginal
     # cost of the second round, after DSI's sharing history has warmed up.
-    idle = _write_stall(base, conflict=False, rounds=1)
-    shared = _steady_state_stall(base, conflict=True)
-    dsi_stall = _steady_state_stall(dsi, conflict=True)
+    idle = _write_stall(runner, base, conflict=False, rounds=1)
+    shared = _steady_state_stall(runner, base, conflict=True)
+    dsi_stall = _steady_state_stall(runner, dsi, conflict=True)
     headers = ["scenario", "write_stall_cycles", "vs_idle"]
     rows = [
         ["write, no outstanding copy (Idle)", idle, "1.00x"],

@@ -13,7 +13,19 @@ from repro.harness.experiment import ExperimentResult
 EXPERIMENT_ID = "figure3"
 
 
+def specs(runner, latency=FAST_NET):
+    """Plan: five workloads x two caches x (SC base + four protocols)."""
+    out = []
+    for workload in WORKLOADS:
+        for cache in (SMALL_CACHE, LARGE_CACHE):
+            for protocol in PROTOCOLS:
+                config = paper_config(protocol, cache=cache, latency=latency, n_procs=runner.n_procs)
+                out.append(runner.spec(workload, config))
+    return out
+
+
 def run(runner, latency=FAST_NET, reference=paper_reference.FIGURE3):
+    runner.prefetch(specs(runner, latency=latency))
     headers = [
         "workload",
         "cache",

@@ -13,6 +13,11 @@ from repro.harness import figure3
 EXPERIMENT_ID = "figure4"
 
 
+def specs(runner):
+    """Plan: the Figure 3 grid at the 1000-cycle network."""
+    return figure3.specs(runner, latency=SLOW_NET)
+
+
 def run(runner):
     inner = figure3.run(runner, latency=SLOW_NET, reference=paper_reference.FIGURE4)
     return ExperimentResult(

@@ -13,8 +13,23 @@ from repro.harness.experiment import ExperimentResult
 
 EXPERIMENT_ID = "figure5"
 
+_PROTOCOLS = ("SC", "V", "V-FIFO")
+
+
+def specs(runner):
+    """Plan: SC base, flush-at-sync and FIFO variants per workload."""
+    return [
+        runner.spec(
+            workload,
+            paper_config(protocol, cache=LARGE_CACHE, latency=FAST_NET, n_procs=runner.n_procs),
+        )
+        for workload in WORKLOADS
+        for protocol in _PROTOCOLS
+    ]
+
 
 def run(runner):
+    runner.prefetch(specs(runner))
     headers = ["workload", "flush_norm", "fifo_norm", "fifo_overflows", "paper_fifo_matches"]
     rows = []
     for workload in WORKLOADS:

@@ -11,8 +11,23 @@ from repro.harness.experiment import ExperimentResult
 
 EXPERIMENT_ID = "figure6"
 
+_PROTOCOLS = ("W", "W+V")
+
+
+def specs(runner):
+    """Plan: WC base and WC+DSI(tear-off) per workload, large cache."""
+    return [
+        runner.spec(
+            workload,
+            paper_config(protocol, cache=LARGE_CACHE, latency=FAST_NET, n_procs=runner.n_procs),
+        )
+        for workload in WORKLOADS
+        for protocol in _PROTOCOLS
+    ]
+
 
 def run(runner):
+    runner.prefetch(specs(runner))
     headers = [
         "workload",
         "protocol",

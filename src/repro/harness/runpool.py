@@ -1,0 +1,188 @@
+"""Batch execution of :class:`~repro.harness.runspec.RunSpec` values.
+
+Two layers:
+
+:class:`ResultCache`
+    A content-addressed on-disk cache.  Each record lands in
+    ``<cache_dir>/<code fingerprint>/<spec key>.json`` — the fingerprint
+    digests every source file of the ``repro`` package, so editing the
+    simulator invalidates all cached results while repeated sweeps of an
+    unchanged tree are pure cache hits.
+
+:class:`RunPool`
+    Executes a batch of specs: cache lookups first, then the misses via a
+    ``concurrent.futures.ProcessPoolExecutor`` (``jobs`` workers; ``1``
+    keeps the in-process serial path for debugging), writing fresh
+    records back to the cache.  Worker processes memoize generated
+    programs so a sweep of many configs over one workload builds the
+    trace once per worker.
+"""
+
+import hashlib
+import json
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import repro
+from repro.stats.record import RunRecord
+
+#: Per-process program memo: (workload, workload_args) -> Program.
+#: Lives at module scope so pool workers reuse programs across tasks.
+_PROGRAMS = {}
+
+
+def execute_spec(spec):
+    """Build (or reuse) the program and run one spec.  Top-level so the
+    process pool can pickle it."""
+    key = (spec.workload, spec.workload_args)
+    program = _PROGRAMS.get(key)
+    if program is None:
+        program = _PROGRAMS[key] = spec.build_program()
+    return spec.execute(program)
+
+
+_FINGERPRINT = None
+
+
+def code_fingerprint():
+    """Digest of every ``repro`` source file (cached per process).
+
+    Any edit to the simulator, protocol, workloads or harness changes the
+    fingerprint and thereby orphans all previously cached records.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for root, dirs, files in sorted(os.walk(package_dir)):
+            dirs.sort()
+            for name in sorted(files):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(root, name)
+                digest.update(os.path.relpath(path, package_dir).encode("utf-8"))
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+class ResultCache:
+    """Content-addressed record store under one directory."""
+
+    def __init__(self, root, fingerprint=None):
+        self.root = root
+        self.fingerprint = fingerprint or code_fingerprint()
+
+    def path_for(self, spec):
+        return os.path.join(self.root, self.fingerprint[:16], spec.key() + ".json")
+
+    def get(self, spec):
+        """The cached record for ``spec``, or None (corrupt files miss)."""
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return RunRecord.from_dict(payload["record"])
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def put(self, spec, record):
+        path = self.path_for(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {"spec": spec.to_dict(), "record": record.to_dict()}
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)  # atomic: concurrent sweeps never see partials
+
+
+class RunPool:
+    """Executes batches of specs with caching and parallel fan-out.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means ``os.cpu_count()``, ``1`` runs
+        every spec in-process (serial, debugger-friendly).
+    cache_dir:
+        Directory for the persistent result cache; ``None`` disables it.
+    use_cache:
+        ``False`` bypasses the cache entirely (no reads, no writes).
+    verbose:
+        Log one line per executed or cache-hit spec to stderr.
+    fingerprint:
+        Override the code fingerprint (tests use this to simulate source
+        changes).
+    """
+
+    def __init__(self, jobs=None, cache_dir=None, use_cache=True, verbose=False,
+                 fingerprint=None):
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.cache = (
+            ResultCache(cache_dir, fingerprint=fingerprint)
+            if (cache_dir and use_cache)
+            else None
+        )
+        self.verbose = verbose
+        self.executed = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def run_batch(self, specs):
+        """Execute (or recall) every spec; returns {spec: RunRecord}."""
+        records = {}
+        pending = []
+        seen = set()
+        for spec in specs:
+            if spec in seen:
+                continue
+            seen.add(spec)
+            cached = self.cache.get(spec) if self.cache else None
+            if cached is not None:
+                self.cache_hits += 1
+                records[spec] = cached
+                self._log(spec, cached, wall=0.0, hit=True)
+            else:
+                pending.append(spec)
+        if pending:
+            for spec, record, wall in self._execute_all(pending):
+                self.executed += 1
+                self._log(spec, record, wall=wall, hit=False)
+                if self.cache:
+                    self.cache.put(spec, record)
+                records[spec] = record
+        return records
+
+    def run(self, spec):
+        """Convenience: a batch of one."""
+        return self.run_batch([spec])[spec]
+
+    # ------------------------------------------------------------------
+    def _execute_all(self, pending):
+        if self.jobs == 1 or len(pending) == 1:
+            for spec in pending:
+                started = time.time()
+                yield spec, execute_spec(spec), time.time() - started
+            return
+        started = time.time()
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            for spec, record in zip(pending, executor.map(execute_spec, pending)):
+                yield spec, record, time.time() - started
+
+    def _log(self, spec, record, wall, hit):
+        if not self.verbose:
+            return
+        config = spec.config
+        tag = "hit" if hit else f"run {self.executed}"
+        print(
+            f"[{tag}] {spec.workload:10s} {config.describe():12s} "
+            f"cache={config.cache_size // 1024}KB net={config.network_latency} "
+            f"exec={record.exec_time} ({wall:.1f}s)",
+            file=sys.stderr,
+        )

@@ -18,7 +18,18 @@ CONFIGS = (
 )
 
 
+def specs(runner):
+    """Plan: WC and WC+DSI at all four (cache, network) points."""
+    return [
+        runner.spec(workload, paper_config(protocol, cache=cache, latency=latency, n_procs=runner.n_procs))
+        for workload in WORKLOADS
+        for _label, cache, latency in CONFIGS
+        for protocol in ("W", "W+V")
+    ]
+
+
 def run(runner):
+    runner.prefetch(specs(runner))
     headers = ["workload", "cache", "network", "norm_time", "paper"]
     rows = []
     for workload in WORKLOADS:

@@ -18,7 +18,18 @@ def _reduction(before, after):
     return 100.0 * (before - after) / before
 
 
+def specs(runner):
+    """Plan: WC and WC+DSI at both cache sizes, 100-cycle network."""
+    return [
+        runner.spec(workload, paper_config(protocol, cache=cache, latency=FAST_NET, n_procs=runner.n_procs))
+        for workload in WORKLOADS
+        for cache in (SMALL_CACHE, LARGE_CACHE)
+        for protocol in ("W", "W+V")
+    ]
+
+
 def run(runner):
+    runner.prefetch(specs(runner))
     headers = [
         "workload",
         "cache",

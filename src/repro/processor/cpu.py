@@ -19,7 +19,7 @@ flush) and ``sync`` (lock/barrier waiting, including lock-word transfer).
 """
 
 from repro.stats.breakdown import Breakdown
-from repro.trace.ops import OP_BARRIER, OP_LOCK, OP_READ, OP_UNLOCK, OP_WRITE
+from repro.trace.ops import OP_LOCK, OP_READ, OP_UNLOCK, OP_WRITE
 
 
 class StampSource:

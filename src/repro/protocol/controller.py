@@ -30,11 +30,11 @@ injected).
 
 from repro.config import Consistency, IdentifyScheme
 from repro.core.identify import InvalidationHistory
-from repro.core.mechanisms import FifoMechanism, make_mechanism
+from repro.core.mechanisms import make_mechanism
 from repro.engine.resource import Resource
 from repro.errors import ProtocolError
 from repro.memory.cache import Cache, EXCLUSIVE, SHARED
-from repro.memory.write_buffer import WAIT_DATA, CoalescingWriteBuffer
+from repro.memory.write_buffer import CoalescingWriteBuffer
 from repro.network.message import Message, MsgKind
 
 MSHR_READ = 0
@@ -344,6 +344,13 @@ class CacheController:
     def _self_invalidate_now(self, frame):
         """FIFO overflow: invalidate one block immediately (no stall)."""
         if not frame.valid or frame.pinned:
+            return
+        if frame.tag in self.mshrs:
+            # A transaction for this block is still in flight (e.g. the
+            # DATA_EX fill that triggered this overflow via a stale FIFO
+            # entry for the same tag).  Invalidating now would yank the
+            # copy out from under the grant; keep it — the s bit stays
+            # set, so the block still dies at the next sync-point flush.
             return
         self.misses.bump("self_invalidations")
         notice = None if frame.tearoff else self._si_notice(frame)

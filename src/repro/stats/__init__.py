@@ -1,7 +1,8 @@
-"""Statistics: message counters and execution-time breakdowns."""
+"""Statistics: message counters, execution-time breakdowns, run records."""
 
 from repro.stats.breakdown import Breakdown, CATEGORIES
 from repro.stats.counters import MessageCounters, MissCounters
+from repro.stats.record import RunRecord
 from repro.stats.report import RunResult, format_breakdown_table, format_table
 
 __all__ = [
@@ -9,6 +10,7 @@ __all__ = [
     "CATEGORIES",
     "MessageCounters",
     "MissCounters",
+    "RunRecord",
     "RunResult",
     "format_breakdown_table",
     "format_table",

@@ -13,7 +13,7 @@ from collections import Counter
 import numpy as np
 
 from repro.stats.report import format_table
-from repro.trace.ops import OP_BARRIER, OP_LOCK, OP_READ, OP_UNLOCK, OP_WRITE
+from repro.trace.ops import OP_LOCK, OP_READ, OP_UNLOCK, OP_WRITE
 
 
 class ProgramProfile:

@@ -1,0 +1,119 @@
+"""Durable run records.
+
+A :class:`RunRecord` is the portable form of a
+:class:`~repro.stats.report.RunResult`: the same measured quantities —
+execution time, per-processor stall breakdowns, message counts, cache
+statistics — detached from the live machine, pickle-safe for process
+pools and JSON round-trippable (:meth:`RunRecord.to_dict` /
+:meth:`RunRecord.from_dict`) for the on-disk result cache.
+
+It subclasses ``RunResult``, so every consumer of a live result
+(``normalized_to``, ``aggregate_breakdown``, ``messages.invalidations()``,
+``misses.fifo_overflows``, ...) reads a record identically.
+"""
+
+from repro.stats.breakdown import CATEGORIES, Breakdown
+from repro.stats.counters import MessageCounters, MissCounters
+from repro.stats.report import RunResult
+
+
+class RunRecord(RunResult):
+    """Everything measured in one simulation run, in portable form."""
+
+    __slots__ = ()
+
+    @classmethod
+    def from_result(cls, result):
+        """Extract a record from a finished run (shares no machine state —
+        a ``RunResult``'s fields are already plain data)."""
+        return cls(
+            label=result.label,
+            workload=result.workload,
+            exec_time=result.exec_time,
+            per_proc_time=list(result.per_proc_time),
+            breakdowns=[b.copy() for b in result.breakdowns],
+            messages=_copy_messages(result.messages),
+            misses=_copy_misses(result.misses),
+            events_fired=result.events_fired,
+            dir_busy_cycles=result.dir_busy_cycles,
+            ni_busy_cycles=result.ni_busy_cycles,
+        )
+
+    def to_dict(self):
+        """JSON-serializable dict; inverse of :meth:`from_dict`."""
+        return {
+            "label": self.label,
+            "workload": self.workload,
+            "exec_time": self.exec_time,
+            "per_proc_time": list(self.per_proc_time),
+            "breakdowns": [b.as_dict() for b in self.breakdowns],
+            "messages": {
+                "network": dict(self.messages.network),
+                "local": dict(self.messages.local),
+                "data_blocks_sent": self.messages.data_blocks_sent,
+            },
+            "misses": self.misses.as_dict(),
+            "events_fired": self.events_fired,
+            "dir_busy_cycles": self.dir_busy_cycles,
+            "ni_busy_cycles": self.ni_busy_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        breakdowns = []
+        for entry in payload["breakdowns"]:
+            breakdown = Breakdown()
+            for category in CATEGORIES:
+                breakdown.add(category, entry.get(category, 0))
+            breakdowns.append(breakdown)
+        messages = MessageCounters()
+        messages.network.update(payload["messages"]["network"])
+        messages.local.update(payload["messages"]["local"])
+        messages.data_blocks_sent = payload["messages"]["data_blocks_sent"]
+        misses = MissCounters()
+        for name, value in payload["misses"].items():
+            setattr(misses, name, value)
+        return cls(
+            label=payload["label"],
+            workload=payload["workload"],
+            exec_time=payload["exec_time"],
+            per_proc_time=list(payload["per_proc_time"]),
+            breakdowns=breakdowns,
+            messages=messages,
+            misses=misses,
+            events_fired=payload["events_fired"],
+            dir_busy_cycles=payload["dir_busy_cycles"],
+            ni_busy_cycles=payload["ni_busy_cycles"],
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, RunRecord):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __ne__(self, other):
+        equal = self.__eq__(other)
+        return NotImplemented if equal is NotImplemented else not equal
+
+    __hash__ = None
+
+    def __repr__(self):
+        return (
+            f"RunRecord({self.workload!r}, {self.label!r}, "
+            f"exec_time={self.exec_time})"
+        )
+
+
+def _copy_messages(messages):
+    clone = MessageCounters()
+    clone.network.update(messages.network)
+    clone.local.update(messages.local)
+    clone.data_blocks_sent = messages.data_blocks_sent
+    return clone
+
+
+def _copy_misses(misses):
+    clone = MissCounters()
+    for name in MissCounters.__slots__:
+        setattr(clone, name, getattr(misses, name))
+    return clone

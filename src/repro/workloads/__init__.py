@@ -32,6 +32,7 @@ from repro.workloads.synthetic import (
     migratory,
     producer_consumer,
     read_mostly,
+    write_conflict,
 )
 from repro.workloads.tomcatv import tomcatv
 
@@ -44,17 +45,33 @@ CATALOG = {
     "tomcatv": (tomcatv, "mesh generation: large private arrays, boundary rows"),
 }
 
+#: Additional named generators resolvable by :func:`by_name` — every
+#: workload a :class:`~repro.harness.runspec.RunSpec` can reference must
+#: appear here or in :data:`CATALOG` so that pool worker processes can
+#: rebuild the program from its name alone.
+EXTRAS = {
+    "false_sharing": (false_sharing, "per-processor words in one shared block"),
+    "migratory": (migratory, "lock-protected read-modify-write rotation"),
+    "producer_consumer": (producer_consumer, "one writer, many readers, barriers"),
+    "read_mostly": (read_mostly, "widely-read data, occasional writes"),
+    "write_conflict": (write_conflict, "Figure 2 coherence-anatomy micro-program"),
+}
+
 
 def by_name(name, **kwargs):
-    """Build a paper workload by name (e.g. ``by_name("em3d", n_procs=8)``)."""
-    if name not in CATALOG:
-        raise KeyError(f"unknown workload {name!r}; have {sorted(CATALOG)}")
-    generator, _description = CATALOG[name]
+    """Build a registered workload by name (e.g. ``by_name("em3d", n_procs=8)``)."""
+    entry = CATALOG.get(name) or EXTRAS.get(name)
+    if entry is None:
+        raise KeyError(
+            f"unknown workload {name!r}; have {sorted(CATALOG) + sorted(EXTRAS)}"
+        )
+    generator, _description = entry
     return generator(**kwargs)
 
 
 __all__ = [
     "CATALOG",
+    "EXTRAS",
     "barnes",
     "by_name",
     "em3d",
@@ -65,4 +82,5 @@ __all__ = [
     "read_mostly",
     "sparse",
     "tomcatv",
+    "write_conflict",
 ]

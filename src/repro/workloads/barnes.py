@@ -14,7 +14,7 @@ synchronization component that neither weak consistency nor DSI reduces
   (up to ~2x), so the per-phase barriers collect long waits.
 """
 
-from repro.workloads.base import BLOCK, WORD, WorkloadContext
+from repro.workloads.base import BLOCK, WorkloadContext
 
 
 def barnes(

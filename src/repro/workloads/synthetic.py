@@ -65,6 +65,27 @@ def read_mostly(n_procs=4, blocks=16, iterations=5, writes_per_iter=1, seed=3):
     return ctx.program(blocks=blocks, iterations=iterations)
 
 
+def write_conflict(n_procs=3, conflict=True, rounds=1, seed=7):
+    """Figure 2's coherence-anatomy micro-program.
+
+    ``rounds`` rounds of: the second processor reads one block (when
+    ``conflict``), barrier, the first processor writes it, barrier.  The
+    block is homed on the *last* node so both request paths traverse the
+    network.  Used by the harness to measure the cost of one conflicting
+    write with and without an outstanding copy.
+    """
+    ctx = WorkloadContext("write_conflict", n_procs, seed=seed)
+    addr = ctx.alloc_words(n_procs - 1, 8)
+    ctx.barrier_all()
+    for _round in range(rounds):
+        if conflict:
+            ctx.builders[1].read(addr)
+        ctx.barrier_all()
+        ctx.builders[0].compute(10).write(addr)
+        ctx.barrier_all()
+    return ctx.program(conflict=conflict, rounds=rounds)
+
+
 def false_sharing(n_procs=4, words_per_proc=2, iterations=10, seed=4):
     """Every processor rewrites its own words of one shared block —
     coherence traffic with no true communication."""

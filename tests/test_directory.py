@@ -6,7 +6,6 @@ flavors and the race-handling rules (deferral, late writebacks,
 notifications consumed as acknowledgments, stale acks dropped).
 """
 
-import pytest
 
 from repro.config import Consistency, IdentifyScheme, SystemConfig
 from repro.core.identify import make_policy

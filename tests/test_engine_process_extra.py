@@ -6,7 +6,6 @@ import pytest
 from repro.engine.process import Process, Timeout, Waiter
 from repro.engine.resource import Resource
 from repro.engine.simulator import Simulator
-from repro.errors import SimulationError
 
 
 class TestProcessComposition:

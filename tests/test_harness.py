@@ -19,7 +19,7 @@ from repro.harness.configs import (
     paper_config,
     workload_args,
 )
-from repro.harness.experiment import ExperimentResult, ExperimentRunner
+from repro.harness.experiment import ExperimentRunner
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,6 @@
 These check the paper's decision tables directly against DirEntry states.
 """
 
-import pytest
 
 from repro.config import IdentifyScheme, SystemConfig
 from repro.core.identify import NoIdentify, StatesIdentify, VersionIdentify, make_policy

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.config import SystemConfig
 from repro.errors import SimulationError, TraceError
 from repro.memory.address import Allocator, RoundRobinHome, SegmentHome, SEGMENT_SHIFT
-from repro.memory.cache import Cache, EXCLUSIVE, INVALID, SHARED
+from repro.memory.cache import Cache, EXCLUSIVE, SHARED
 from repro.memory.write_buffer import CoalescingWriteBuffer, WAIT_ACK, WAIT_DATA
 
 KB = 1024

@@ -1,9 +1,8 @@
 """Migratory-data optimization (§2's complementary technique) and its
 composition with DSI."""
 
-import pytest
 
-from conftest import seg_addr, tiny_config, two_proc_program
+from conftest import seg_addr, tiny_config
 from repro.config import Consistency, IdentifyScheme
 from repro.memory.cache import EXCLUSIVE
 from repro.system import Machine

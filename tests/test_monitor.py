@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import Consistency, IdentifyScheme, SystemConfig
+from repro.config import Consistency, SystemConfig
 from repro.errors import ProtocolError
 from repro.memory.cache import EXCLUSIVE, SHARED
 from repro.protocol.monitor import CoherenceMonitor

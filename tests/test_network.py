@@ -1,6 +1,5 @@
 """Unit tests for the interconnect: timing, ordering, counters, topology."""
 
-import pytest
 
 from repro.config import SystemConfig
 from repro.engine.simulator import Simulator

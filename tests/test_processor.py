@@ -3,7 +3,7 @@
 import pytest
 
 from conftest import seg_addr, tiny_config
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import SimulationError
 from repro.stats.breakdown import CATEGORIES, Breakdown
 from repro.system import Machine
 from repro.trace.builder import TraceBuilder

@@ -1,7 +1,6 @@
 """Static sharing-pattern profiles — and using them to validate that each
 workload generator exhibits the structure the paper attributes to it."""
 
-import pytest
 
 from repro.stats.profile import analyze_program
 from repro.trace.builder import TraceBuilder

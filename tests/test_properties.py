@@ -115,7 +115,6 @@ def test_dsi_preserves_read_values(program):
     # Strip locks to keep the interleaving identical across protocols:
     # rebuild traces without lock/unlock ops.
     from repro.trace.ops import OP_LOCK, OP_UNLOCK, Trace
-    import numpy as np
 
     stripped = []
     for trace in program.traces:

@@ -5,10 +5,9 @@ sequences; these tests instead construct *programs* whose natural timing
 produces the races, so the cache-controller side participates too.
 """
 
-import pytest
 
 from conftest import seg_addr, tiny_config, two_proc_program
-from repro.config import Consistency, IdentifyScheme, SystemConfig
+from repro.config import Consistency, IdentifyScheme, SIMechanism
 from repro.system import Machine
 from repro.trace.builder import TraceBuilder
 from repro.trace.ops import Program
@@ -208,3 +207,38 @@ class TestUpgradeRaceEndToEnd:
         assert result.misses.upgrades == 1
         # P0's upgrade waited for P1's invalidation.
         assert result.breakdowns[0].write_inval > 0
+
+
+class TestFifoOverflowVsWriteGrant:
+    """Regression: a stale FIFO entry must not self-invalidate a block whose
+    write grant is in flight (hypothesis shrink of overrides4 in
+    test_properties.py)."""
+
+    def _program(self):
+        a, b, lock = seg_addr(1), seg_addr(2), seg_addr(0, 4096)
+        b0 = TraceBuilder()
+        b0.read(a).read(b).barrier(0).barrier(1).write(b).read(a).write(b).barrier(2)
+        b1 = TraceBuilder()
+        b1.barrier(0).lock(lock).unlock(lock).barrier(1).write(b).barrier(2)
+        b2 = TraceBuilder()
+        b2.read(b).barrier(0).barrier(1).write(a).barrier(2)
+        return Program("fifo-race", [b0.build(), b1.build(), b2.build()])
+
+    def test_fifo_overflow_skips_in_flight_write(self):
+        """Block B is s-marked and re-requested for writing; the DATA_EX
+        fill re-enters B into the 2-entry FIFO, whose overflow pops a stale
+        entry for B itself.  The just-granted exclusive copy must survive
+        until the write is performed."""
+        config = tiny_config(
+            n_procs=3,
+            identify=IdentifyScheme.VERSION,
+            si_mechanism=SIMechanism.FIFO,
+            fifo_entries=2,
+        )
+        result = Machine(config, self._program()).run()
+        assert result.exec_time > 0
+        # The overflow happened (the FIFO is genuinely too small) ...
+        assert result.misses.fifo_overflows > 0
+        # ... and every processor's cycles are still fully accounted for.
+        for proc, finish in enumerate(result.per_proc_time):
+            assert result.breakdowns[proc].total() == finish

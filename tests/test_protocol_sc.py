@@ -5,7 +5,6 @@ from the paper's cost model: cache controller 3 cycles, directory 10,
 injection 3 (+8 with data), network 100, local hop 1.
 """
 
-import pytest
 
 from conftest import seg_addr, tiny_config, two_proc_program
 from repro.system import Machine

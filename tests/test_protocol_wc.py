@@ -5,7 +5,6 @@ single forwarded acknowledgment, and the paper's WC stall categories
 (synch wb, read wb, wb full).
 """
 
-import pytest
 
 from conftest import seg_addr, tiny_config, two_proc_program
 from repro.config import Consistency

@@ -1,0 +1,117 @@
+"""RunSpec and RunRecord: value semantics, hashing, serialization."""
+
+import pickle
+
+import pytest
+
+from repro.config import IdentifyScheme, SystemConfig
+from repro.harness.runspec import RunSpec
+from repro.stats.record import RunRecord
+
+
+def _config(**overrides):
+    defaults = dict(n_processors=2, cache_size=8192, quantum=1)
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def _spec(**config_overrides):
+    return RunSpec.create(
+        "write_conflict", _config(n_processors=3, **config_overrides),
+        n_procs=3, conflict=True, rounds=1,
+    )
+
+
+class TestRunSpec:
+    def test_create_normalizes_kwarg_order(self):
+        config = _config()
+        a = RunSpec.create("ocean", config, n=8, n_procs=2, seed=3)
+        b = RunSpec.create("ocean", config, seed=3, n_procs=2, n=8)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.key() == b.key()
+
+    def test_hashable_and_usable_as_dict_key(self):
+        spec = _spec()
+        assert {spec: "x"}[_spec()] == "x"
+
+    def test_distinct_configs_distinct_keys(self):
+        base = _spec()
+        dsi = _spec(identify=IdentifyScheme.VERSION)
+        assert base != dsi
+        assert base.key() != dsi.key()
+
+    def test_distinct_workload_args_distinct_keys(self):
+        a = RunSpec.create("write_conflict", _config(n_processors=3), n_procs=3, rounds=1)
+        b = RunSpec.create("write_conflict", _config(n_processors=3), n_procs=3, rounds=2)
+        assert a.key() != b.key()
+
+    def test_key_is_stable_across_calls(self):
+        spec = _spec()
+        assert spec.key() == spec.key()
+        assert len(spec.key()) == 64  # sha256 hex
+
+    def test_to_dict_flattens_enums(self):
+        payload = _spec(identify=IdentifyScheme.VERSION).to_dict()
+        assert payload["config"]["identify"] == IdentifyScheme.VERSION.value
+        assert payload["workload"] == "write_conflict"
+        assert payload["workload_args"]["rounds"] == 1
+
+    def test_pickle_round_trip(self):
+        spec = _spec()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.key() == spec.key()
+
+    def test_build_program_is_deterministic(self):
+        spec = _spec()
+        one, two = spec.build_program(), spec.build_program()
+        assert one.n_procs == two.n_procs == 3
+        assert [len(t) for t in one.traces] == [len(t) for t in two.traces]
+
+    def test_unknown_workload_raises(self):
+        spec = RunSpec.create("no_such_workload", _config())
+        with pytest.raises(KeyError):
+            spec.build_program()
+
+    def test_execute_returns_record(self):
+        record = _spec().execute()
+        assert isinstance(record, RunRecord)
+        assert record.exec_time > 0
+        assert record.workload.startswith("write_conflict")
+
+
+class TestRunRecord:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return _spec(identify=IdentifyScheme.VERSION).execute()
+
+    def test_dict_round_trip(self, record):
+        clone = RunRecord.from_dict(record.to_dict())
+        assert clone == record
+        assert clone.exec_time == record.exec_time
+        assert clone.misses.as_dict() == record.misses.as_dict()
+        assert dict(clone.messages.network) == dict(record.messages.network)
+
+    def test_pickle_round_trip(self, record):
+        clone = pickle.loads(pickle.dumps(record))
+        assert clone == record
+
+    def test_round_trip_preserves_derived_stats(self, record):
+        clone = RunRecord.from_dict(record.to_dict())
+        assert clone.normalized_to(record) == 1.0
+        assert (
+            clone.aggregate_breakdown().fractions()
+            == record.aggregate_breakdown().fractions()
+        )
+        assert clone.messages.invalidations() == record.messages.invalidations()
+
+    def test_json_compatible(self, record):
+        import json
+
+        payload = json.loads(json.dumps(record.to_dict()))
+        assert RunRecord.from_dict(payload) == record
+
+    def test_inequality_on_different_runs(self, record):
+        other = _spec().execute()  # no DSI -> different timing
+        assert record != other

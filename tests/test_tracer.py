@@ -1,6 +1,5 @@
 """Message tracer: recording, filtering, formatting."""
 
-import pytest
 
 from conftest import seg_addr, tiny_config, two_proc_program
 from repro.stats.tracer import MessageTracer, attach_tracer

@@ -1,6 +1,5 @@
 """Weak consistency + synchronization composition edge cases."""
 
-import pytest
 
 from conftest import seg_addr, tiny_config
 from repro.config import Consistency, IdentifyScheme

@@ -5,7 +5,7 @@ import pytest
 
 from repro.config import IdentifyScheme, SystemConfig
 from repro.system import Machine
-from repro.trace.ops import OP_BARRIER, OP_LOCK, OP_READ, OP_WRITE
+from repro.trace.ops import OP_LOCK, OP_READ, OP_WRITE
 from repro.workloads import (
     CATALOG,
     barnes,
@@ -19,7 +19,7 @@ from repro.workloads import (
     sparse,
     tomcatv,
 )
-from repro.workloads.base import BLOCK, WorkloadContext
+from repro.workloads.base import WorkloadContext
 
 KB = 1024
 
