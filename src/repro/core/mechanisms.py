@@ -47,11 +47,13 @@ class FifoMechanism:
 
     name = "fifo"
 
-    def __init__(self, cache, capacity):
+    def __init__(self, cache, capacity, node=None, instrument=None):
         if capacity < 1:
             raise ConfigError("FIFO capacity must be >= 1")
         self.cache = cache
         self.capacity = capacity
+        self.node = node
+        self.obs = instrument
         self.fifo = deque()
         self.overflows = 0
 
@@ -59,10 +61,15 @@ class FifoMechanism:
         """Record the new block; on overflow return the evicted frame (to be
         self-invalidated *now*) if it is still resident and still marked."""
         self.fifo.append(frame.tag)
+        if self.obs is not None:
+            self.obs.fifo_push(self.node, len(self.fifo))
         if len(self.fifo) <= self.capacity:
             return None
         victim_block = self.fifo.popleft()
         self.overflows += 1
+        if self.obs is not None:
+            self.obs.fifo_overflow(self.node)
+            self.obs.fifo_pop(self.node, len(self.fifo))
         victim = self.cache.lookup(victim_block, touch=False)
         if victim is not None and victim.s_bit:
             return victim
@@ -71,11 +78,14 @@ class FifoMechanism:
     def sync_frames(self):
         """Flush the FIFO at a synchronization point."""
         frames = []
+        drained = bool(self.fifo)
         while self.fifo:
             block = self.fifo.popleft()
             frame = self.cache.lookup(block, touch=False)
             if frame is not None and frame.s_bit:
                 frames.append(frame)
+        if drained and self.obs is not None:
+            self.obs.fifo_pop(self.node, 0)
         # Defensive sweep: any marked frame missed by stale FIFO entries.
         for frame in list(self.cache.si_frames):
             if frame not in frames:
@@ -83,10 +93,10 @@ class FifoMechanism:
         return frames
 
 
-def make_mechanism(config, cache):
+def make_mechanism(config, cache, node=None, instrument=None):
     """Instantiate the self-invalidation mechanism selected by ``config``."""
     if config.si_mechanism is SIMechanism.SYNC_FLUSH:
         return SyncFlushMechanism(cache)
     if config.si_mechanism is SIMechanism.FIFO:
-        return FifoMechanism(cache, config.fifo_entries)
+        return FifoMechanism(cache, config.fifo_entries, node=node, instrument=instrument)
     raise ConfigError(f"unknown self-invalidation mechanism {config.si_mechanism!r}")

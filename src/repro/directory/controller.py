@@ -84,12 +84,13 @@ class Transaction:
 class DirectoryController:
     """Directory controller for one home node."""
 
-    def __init__(self, sim, config, node, network, policy):
+    def __init__(self, sim, config, node, network, policy, instrument=None):
         self.sim = sim
         self.config = config
         self.node = node
         self.network = network
         self.policy = policy
+        self.obs = instrument
         self.resource = Resource(sim, name=f"dir{node}")
         self.entries = {}
         self.stale_messages = 0
@@ -127,6 +128,12 @@ class DirectoryController:
     # Requests
     # ------------------------------------------------------------------
     def _start(self, entry, msg):
+        if self.obs is not None:
+            kind = (
+                "read" if msg.kind is MsgKind.GETS
+                else ("upgrade" if msg.kind is MsgKind.UPGRADE else "write")
+            )
+            self.obs.dir_txn_begin(self.node, msg.block, kind, msg.src)
         if msg.kind is MsgKind.GETS:
             self._start_read(entry, msg)
         else:
@@ -283,6 +290,8 @@ class DirectoryController:
                 carries_data=True,
             )
         )
+        if self.obs is not None:
+            self.obs.dir_txn_end(self.node, msg.block)
 
     def _grant_write(self, entry, msg, decision, upgrade_grant, inval_wait, acks_pending=False):
         requester = msg.src
@@ -308,8 +317,12 @@ class DirectoryController:
                 carries_data=kind is MsgKind.DATA_EX,
             )
         )
+        if self.obs is not None and not acks_pending:
+            self.obs.dir_txn_end(self.node, msg.block)
 
     def _send_inv(self, block, target):
+        if self.obs is not None:
+            self.obs.inv_sent(self.node, block, target)
         self.network.send(Message(MsgKind.INV, block, src=self.node, dst=target))
 
     # ------------------------------------------------------------------
@@ -337,6 +350,8 @@ class DirectoryController:
                 MsgKind.INV_ACK_DATA,
             ):
                 txn.pending_inv.discard(src)
+                if self.obs is not None:
+                    self.obs.inv_acked(self.node, msg.block, src)
                 if msg.carries_data:
                     entry.data = msg.data
                 elif txn.migratory_read and entry.owner == src:
@@ -422,6 +437,8 @@ class DirectoryController:
                     dst=txn.msg.src,
                 )
             )
+            if self.obs is not None:
+                self.obs.dir_txn_end(self.node, txn.msg.block)
         elif txn.kind == "read":
             self._grant_read(entry, txn.msg, txn.decision, inval_wait)
         else:

@@ -18,11 +18,19 @@ class Resource:
     Jobs are ``(duration, callback, args)``; the callback fires when the
     job *completes* (after queueing delay + service time).  Statistics are
     kept so benchmarks can report utilisation and queueing delay.
+
+    ``depth_probe``, when given, is called with the queue length every
+    time a job enters or leaves the wait queue — the instrumentation
+    layer's contention time series (``None``, the default, costs one
+    ``is not None`` test per transition).
     """
 
-    __slots__ = ("sim", "name", "busy", "_queue", "busy_cycles", "jobs", "wait_cycles", "_free_at")
+    __slots__ = (
+        "sim", "name", "busy", "_queue", "busy_cycles", "jobs", "wait_cycles",
+        "_free_at", "depth_probe",
+    )
 
-    def __init__(self, sim, name=""):
+    def __init__(self, sim, name="", depth_probe=None):
         self.sim = sim
         self.name = name
         self.busy = False
@@ -31,11 +39,14 @@ class Resource:
         self.jobs = 0
         self.wait_cycles = 0
         self._free_at = 0
+        self.depth_probe = depth_probe
 
     def submit(self, duration, callback, *args):
         """Run a job of ``duration`` cycles; fire ``callback(*args)`` on completion."""
         if self.busy:
             self._queue.append((self.sim.now, duration, callback, args))
+            if self.depth_probe is not None:
+                self.depth_probe(len(self._queue))
         else:
             self._start(self.sim.now, duration, callback, args)
 
@@ -50,6 +61,8 @@ class Resource:
     def _finish(self, callback, args):
         if self._queue:
             next_submitted, next_duration, next_callback, next_args = self._queue.popleft()
+            if self.depth_probe is not None:
+                self.depth_probe(len(self._queue))
             self._start(next_submitted, next_duration, next_callback, next_args)
         else:
             self.busy = False

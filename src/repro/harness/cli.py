@@ -13,6 +13,10 @@ Examples::
 
     dsi-sim run --workload em3d --protocol V --procs 16
                                      # one simulation with full statistics
+    dsi-sim run --workload em3d --perfetto trace.json --metrics m.json
+                                     # instrumented run: Perfetto trace +
+                                     # metrics dump (see docs/OBSERVABILITY.md)
+    dsi-sim trace em3d --block 130   # per-block coherence timeline
     dsi-sim gen --workload sparse -o sparse.npz
                                      # export a workload trace for reuse
     dsi-sim run --trace sparse.npz --protocol W
@@ -85,7 +89,13 @@ def build_parser():
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'all', 'ablations', 'bars', "
-        "'run', or 'gen'",
+        "'run', 'trace', or 'gen'",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="trace: workload name (equivalent to --workload)",
     )
     parser.add_argument("--procs", type=int, default=32, help="machine size (default 32)")
     parser.add_argument(
@@ -133,7 +143,29 @@ def build_parser():
         type=int,
         default=0,
         metavar="N",
-        help="run: print the first N protocol messages",
+        help="run: print the first N protocol messages (further messages "
+        "are counted and reported as dropped)",
+    )
+    # observability options
+    parser.add_argument(
+        "--perfetto",
+        metavar="PATH",
+        help="run/trace: write a Chrome/Perfetto trace.json of the "
+        "instrumented run (open in ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a JSON metrics/telemetry dump (run/trace: probe "
+        "counts, span latencies, counter series; experiments: run "
+        "manifest with per-run wall time and cache disposition)",
+    )
+    parser.add_argument(
+        "--block",
+        type=int,
+        action="append",
+        metavar="N",
+        help="trace: restrict the message log to block N (repeatable)",
     )
     return parser
 
@@ -157,13 +189,15 @@ def main(argv=None):
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
-        for extra in ("bars", "run", "gen", "describe"):
+        for extra in ("bars", "run", "trace", "gen", "describe"):
             print(extra)
         return 0
     if args.experiment == "bars":
         return _bars(args)
     if args.experiment == "run":
         return _run_one(args)
+    if args.experiment == "trace":
+        return _trace(args)
     if args.experiment == "gen":
         return _generate(args)
     if args.experiment == "describe":
@@ -193,17 +227,27 @@ def main(argv=None):
         f"in {wall:.1f}s (procs={args.procs}"
         f"{', quick' if args.quick else ''}, jobs={runner.pool.jobs})"
     )
+    meta = {
+        "simulation_runs": runner.total_sim_runs,
+        "cache_hits": runner.cache_hits,
+        "wall_seconds": round(wall, 3),
+        "procs": args.procs,
+        "quick": args.quick,
+        "jobs": runner.pool.jobs,
+    }
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"meta": meta, "run_manifest": runner.pool.manifest()},
+                handle,
+                indent=2,
+            )
+        print(f"# wrote run telemetry -> {args.metrics}", file=sys.stderr)
     if args.as_json:
         payload = {
             "experiments": [result.to_dict() for result in results],
-            "meta": {
-                "simulation_runs": runner.total_sim_runs,
-                "cache_hits": runner.cache_hits,
-                "wall_seconds": round(wall, 3),
-                "procs": args.procs,
-                "quick": args.quick,
-                "jobs": runner.pool.jobs,
-            },
+            "meta": meta,
+            "run_manifest": runner.pool.manifest(),
         }
         print(json.dumps(payload, indent=2))
         print(summary, file=sys.stderr)
@@ -248,6 +292,29 @@ def _load_run_program(args):
     )
 
 
+def _make_instrument(args):
+    """An :class:`~repro.obs.Instrument` when any observability output was
+    requested, else None (probes stay disabled: zero overhead)."""
+    if not (args.perfetto or args.metrics):
+        return None
+    from repro.obs import Instrument
+
+    return Instrument()
+
+
+def _write_obs_outputs(args, instrument, extra):
+    if instrument is None:
+        return
+    from repro.obs import write_metrics, write_perfetto
+
+    if args.perfetto:
+        write_perfetto(instrument, args.perfetto)
+        print(f"# wrote Perfetto trace -> {args.perfetto}", file=sys.stderr)
+    if args.metrics:
+        write_metrics(instrument, args.metrics, extra=extra)
+        print(f"# wrote metrics dump -> {args.metrics}", file=sys.stderr)
+
+
 def _run_one(args):
     """One simulation with the full statistics dump."""
     program = _load_run_program(args)
@@ -259,15 +326,28 @@ def _run_one(args):
         latency=args.latency,
         n_procs=program.n_procs,
     )
+    instrument = _make_instrument(args)
     started = time.time()
-    machine = Machine(config, program)
+    machine = Machine(config, program, instrument=instrument)
     tracer = None
     if args.show_trace:
         from repro.stats.tracer import MessageTracer, attach_tracer
 
-        tracer = attach_tracer(machine, MessageTracer(limit=args.show_trace))
+        tracer = attach_tracer(machine, MessageTracer(max_events=args.show_trace))
     result = machine.run()
     wall = time.time() - started
+    record = RunRecord.from_result(result)
+    record.set_timing(wall)
+    _write_obs_outputs(
+        args,
+        instrument,
+        extra={
+            "workload": program.describe(),
+            "protocol": config.describe(),
+            "wall_time_s": record.wall_time_s,
+            "sim_cycles_per_s": record.sim_cycles_per_s,
+        },
+    )
     if args.as_json:
         payload = {
             "workload": program.describe(),
@@ -275,7 +355,7 @@ def _run_one(args):
             "cache_bytes": config.cache_size,
             "network_latency": config.network_latency,
             "wall_seconds": round(wall, 3),
-            "record": RunRecord.from_result(result).to_dict(),
+            "record": record.to_dict(),
         }
         print(json.dumps(payload, indent=2))
         return 0
@@ -296,7 +376,92 @@ def _run_one(args):
     print(f"miss rate: {result.misses.miss_rate():.4f}")
     print(f"self-invalidations: {result.misses.self_invalidations}")
     print(f"directory occupancy: {result.dir_occupancy():.3f}")
-    print(f"({result.events_fired} events in {wall:.1f}s)")
+    if record.sim_cycles_per_s:
+        print(
+            f"({result.events_fired} events in {wall:.1f}s, "
+            f"{record.sim_cycles_per_s:,.0f} cycles/s)"
+        )
+    else:
+        print(f"({result.events_fired} events in {wall:.1f}s)")
+    return 0
+
+
+def _trace(args):
+    """Instrumented run with an on-terminal coherence timeline.
+
+    Always attaches the instrument (the point of the verb is to look
+    inside the run); ``--block`` narrows the message table to chosen
+    blocks, ``--perfetto``/``--metrics`` additionally export the trace.
+    """
+    from repro.obs import Instrument, ascii_timeline
+    from repro.stats.tracer import MessageTracer, attach_tracer
+
+    if args.target and not args.workload and not args.trace:
+        args.workload = args.target
+    if args.workload and args.workload not in WORKLOADS:
+        print(f"trace: unknown workload {args.workload!r}", file=sys.stderr)
+        return 2
+    program = _load_run_program(args)
+    if program is None:
+        return 2
+    config = paper_config(
+        args.protocol,
+        cache=args.cache,
+        latency=args.latency,
+        n_procs=program.n_procs,
+    )
+    instrument = Instrument()
+    started = time.time()
+    machine = Machine(config, program, instrument=instrument)
+    tracer = attach_tracer(
+        machine,
+        MessageTracer(
+            blocks=args.block,
+            max_events=args.show_trace or (200 if args.block else 40),
+        ),
+    )
+    result = machine.run()
+    wall = time.time() - started
+    print(f"workload: {program.describe()}")
+    print(f"protocol: {config.describe()}  cache={config.cache_size // 1024}KB "
+          f"net={config.network_latency}\n")
+    print(ascii_timeline(instrument))
+    print()
+    scope = f" (blocks {sorted(set(args.block))})" if args.block else ""
+    print(f"messages{scope}:")
+    print(tracer.format())
+    print()
+    rows = []
+    for category in instrument.CATEGORIES:
+        histogram = instrument.latency[category]
+        if not histogram.count:
+            continue
+        pct = histogram.percentiles()
+        rows.append(
+            [
+                category,
+                histogram.count,
+                f"{histogram.mean():.0f}",
+                pct["p50"],
+                pct["p90"],
+                pct["p99"],
+            ]
+        )
+    print(
+        format_table(
+            ["span", "count", "mean", "p50", "p90", "p99"],
+            rows,
+            title="transaction latency (cycles)",
+        )
+    )
+    print()
+    print(f"execution time: {result.exec_time} cycles "
+          f"({result.events_fired} events in {wall:.1f}s)")
+    _write_obs_outputs(
+        args,
+        instrument,
+        extra={"workload": program.describe(), "protocol": config.describe()},
+    )
     return 0
 
 

@@ -34,13 +34,17 @@ _PROGRAMS = {}
 
 
 def execute_spec(spec):
-    """Build (or reuse) the program and run one spec.  Top-level so the
-    process pool can pickle it."""
+    """Build (or reuse) the program and run one spec, stamping run
+    telemetry (wall time, simulated cycles per host second) into the
+    record.  Top-level so the process pool can pickle it."""
     key = (spec.workload, spec.workload_args)
     program = _PROGRAMS.get(key)
     if program is None:
         program = _PROGRAMS[key] = spec.build_program()
-    return spec.execute(program)
+    started = time.time()
+    record = spec.execute(program)
+    record.set_timing(time.time() - started)
+    return record
 
 
 _FINGERPRINT = None
@@ -131,6 +135,7 @@ class RunPool:
         self.verbose = verbose
         self.executed = 0
         self.cache_hits = 0
+        self._manifest = []
 
     # ------------------------------------------------------------------
     def run_batch(self, specs):
@@ -146,13 +151,15 @@ class RunPool:
             if cached is not None:
                 self.cache_hits += 1
                 records[spec] = cached
-                self._log(spec, cached, wall=0.0, hit=True)
+                self._note(spec, cached, cached=True)
+                self._log(spec, cached, hit=True)
             else:
                 pending.append(spec)
         if pending:
-            for spec, record, wall in self._execute_all(pending):
+            for spec, record in self._execute_all(pending):
                 self.executed += 1
-                self._log(spec, record, wall=wall, hit=False)
+                self._note(spec, record, cached=False)
+                self._log(spec, record, hit=False)
                 if self.cache:
                     self.cache.put(spec, record)
                 records[spec] = record
@@ -162,24 +169,47 @@ class RunPool:
         """Convenience: a batch of one."""
         return self.run_batch([spec])[spec]
 
+    def manifest(self):
+        """Run telemetry for everything this pool served, in service
+        order: one entry per spec with its cache disposition, wall time
+        and simulation speed (cached entries report the wall time of the
+        run that originally produced them)."""
+        return {
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "runs": [dict(entry) for entry in self._manifest],
+        }
+
     # ------------------------------------------------------------------
     def _execute_all(self, pending):
         if self.jobs == 1 or len(pending) == 1:
             for spec in pending:
-                started = time.time()
-                yield spec, execute_spec(spec), time.time() - started
+                yield spec, execute_spec(spec)
             return
-        started = time.time()
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as executor:
             for spec, record in zip(pending, executor.map(execute_spec, pending)):
-                yield spec, record, time.time() - started
+                yield spec, record
 
-    def _log(self, spec, record, wall, hit):
+    def _note(self, spec, record, cached):
+        self._manifest.append(
+            {
+                "key": spec.key()[:16],
+                "workload": spec.workload,
+                "label": spec.config.describe(),
+                "cached": cached,
+                "exec_time": record.exec_time,
+                "wall_time_s": record.wall_time_s,
+                "sim_cycles_per_s": record.sim_cycles_per_s,
+            }
+        )
+
+    def _log(self, spec, record, hit):
         if not self.verbose:
             return
         config = spec.config
         tag = "hit" if hit else f"run {self.executed}"
+        wall = record.wall_time_s or 0.0
         print(
             f"[{tag}] {spec.workload:10s} {config.describe():12s} "
             f"cache={config.cache_size // 1024}KB net={config.network_latency} "

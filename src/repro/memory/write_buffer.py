@@ -31,8 +31,10 @@ class WriteBufferEntry:
 class CoalescingWriteBuffer:
     """Block-granular coalescing write buffer with completion callbacks."""
 
-    def __init__(self, capacity):
+    def __init__(self, capacity, node=None, instrument=None):
         self.capacity = capacity
+        self.node = node
+        self.obs = instrument
         self.entries = OrderedDict()  # block -> WriteBufferEntry
         self._on_space = []  # callbacks waiting for a free entry
         self._on_empty = []  # callbacks waiting for a full drain
@@ -61,6 +63,8 @@ class CoalescingWriteBuffer:
         entry = WriteBufferEntry(block, data, now)
         self.entries[block] = entry
         self.peak_occupancy = max(self.peak_occupancy, len(self.entries))
+        if self.obs is not None:
+            self.obs.wb_fill(self.node, len(self.entries))
         return entry
 
     def merge(self, block, data):
@@ -81,6 +85,8 @@ class CoalescingWriteBuffer:
         if block not in self.entries:
             raise SimulationError(f"retiring unknown write-buffer entry {block}")
         del self.entries[block]
+        if self.obs is not None:
+            self.obs.wb_drain(self.node, len(self.entries))
         if self._on_space:
             waiters, self._on_space = self._on_space, []
             for callback in waiters:

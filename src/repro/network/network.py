@@ -20,17 +20,26 @@ from repro.stats.counters import MessageCounters
 class Network:
     """Delivers :class:`~repro.network.message.Message` objects between nodes."""
 
-    def __init__(self, sim, config, counters=None):
+    def __init__(self, sim, config, counters=None, instrument=None):
         self.sim = sim
         self.config = config
         self.counters = counters if counters is not None else MessageCounters()
+        self.obs = instrument
         self.interfaces = [
-            Resource(sim, name=f"ni{i}") for i in range(config.n_processors)
+            Resource(sim, name=f"ni{i}", depth_probe=self._ni_probe(i))
+            for i in range(config.n_processors)
         ]
         # Delivery sinks, wired by the System after construction.
         self.cache_sinks = [None] * config.n_processors
         self.dir_sinks = [None] * config.n_processors
         self.in_flight = 0
+
+    def _ni_probe(self, node):
+        """Injection-queue depth probe for one interface (None when no
+        instrument is attached, so the Resource skips the call entirely)."""
+        if self.obs is None:
+            return None
+        return lambda depth: self.obs.ni_queue(node, depth)
 
     # ------------------------------------------------------------------
     def attach(self, node, cache_sink, dir_sink):
@@ -48,6 +57,8 @@ class Network:
         """
         is_network = msg.src != msg.dst
         self.counters.count(msg.kind.name, is_network, msg.carries_data)
+        if self.obs is not None:
+            self.obs.message_send(msg, is_network)
         self.in_flight += 1
         if not is_network:
             self.sim.schedule(self.config.local_latency, self._deliver, msg)
@@ -70,6 +81,8 @@ class Network:
 
     def _deliver(self, msg):
         self.in_flight -= 1
+        if self.obs is not None:
+            self.obs.message_receive(msg, msg.src != msg.dst)
         sinks = self.dir_sinks if msg.kind in DIR_BOUND else self.cache_sinks
         sinks[msg.dst].receive(msg)
 

@@ -22,8 +22,9 @@ class MeshNetwork(Network):
     network, which keeps results comparable.
     """
 
-    def __init__(self, sim, config, counters=None, hop_cycles=8, base_latency=None):
-        super().__init__(sim, config, counters)
+    def __init__(self, sim, config, counters=None, hop_cycles=8, base_latency=None,
+                 instrument=None):
+        super().__init__(sim, config, counters, instrument=instrument)
         n = config.n_processors
         self.cols = int(math.ceil(math.sqrt(n)))
         self.rows = int(math.ceil(n / self.cols))

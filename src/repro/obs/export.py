@@ -1,0 +1,190 @@
+"""Exporters: Perfetto/Chrome trace JSON, metrics dump, ASCII timeline.
+
+The Perfetto export follows the Chrome trace-event format (the
+``traceEvents`` array of ``{"ph", "ts", "pid", "tid", ...}`` objects)
+which both ``chrome://tracing`` and https://ui.perfetto.dev load
+directly.  One simulated cycle maps to one microsecond of trace time.
+
+Lanes: every processor gets a thread under the "processors" process,
+every directory a thread under "directories", the network one thread of
+its own; counter tracks (FIFO occupancy, write-buffer depth, directory
+occupancy, NI queue depth) render above them.
+"""
+
+import json
+
+from repro.obs.spans import LANE_DIR, LANE_NET, LANE_PROC
+
+#: Synthetic pids for the three lane groups.
+PID_PROC = 1
+PID_DIR = 2
+PID_NET = 3
+
+_LANE_PID = {LANE_PROC: PID_PROC, LANE_DIR: PID_DIR, LANE_NET: PID_NET}
+
+
+def _meta(pid, tid, name, kind):
+    # tid defaults to 0 so every event carries the full ph/ts/pid/tid
+    # schema (CI validates this uniformly).
+    return {
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "tid": 0 if tid is None else tid,
+        "name": kind,
+        "args": {"name": name},
+    }
+
+
+def to_perfetto(instrument, max_instants=20_000):
+    """Render an :class:`~repro.obs.instrument.Instrument` as a Chrome
+    trace-event dict (``json.dump`` it to get a loadable ``trace.json``).
+
+    ``max_instants`` bounds the per-message instant events (sends can
+    dwarf everything else); spans and counter tracks are always complete.
+    """
+    events = [
+        _meta(PID_PROC, None, "processors", "process_name"),
+        _meta(PID_DIR, None, "directories", "process_name"),
+        _meta(PID_NET, None, "network", "process_name"),
+        _meta(PID_NET, 0, "messages", "thread_name"),
+    ]
+    for node in range(instrument.n_processors):
+        events.append(_meta(PID_PROC, node, f"proc {node}", "thread_name"))
+        events.append(_meta(PID_DIR, node, f"dir {node}", "thread_name"))
+    # Spans as complete ("X") slices.  Zero-length directory grants are
+    # clamped to one cycle so they stay visible.
+    for span in instrument.finished_spans():
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start,
+                "dur": max(span.duration, 1),
+                "pid": _LANE_PID[span.lane],
+                "tid": span.node,
+                "args": {str(k): v for k, v in span.args.items()},
+            }
+        )
+    # Counter tracks.
+    for group, table in instrument.series_tables().items():
+        for node, series in sorted(table.items()):
+            for time, value in zip(series.times, series.values):
+                events.append(
+                    {
+                        "name": group,
+                        "ph": "C",
+                        "ts": time,
+                        "pid": _LANE_PID[LANE_DIR if group == "directory_occupancy" else LANE_PROC],
+                        "tid": node,
+                        "id": node,
+                        "args": {f"node{node}": value},
+                    }
+                )
+    # Message sends as instant events on the network lane.
+    instants = instrument.message_events[:max_instants]
+    for time, kind, src, dst, block, is_network in instants:
+        events.append(
+            {
+                "name": kind,
+                "cat": "message",
+                "ph": "i",
+                "s": "t",
+                "ts": time,
+                "pid": PID_NET,
+                "tid": 0,
+                "args": {"src": src, "dst": dst, "block": block, "network": is_network},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "dsi-sim",
+            "sim_cycles": instrument.now,
+            "spans_dropped": instrument.spans.dropped,
+            "messages_dropped": instrument.messages_dropped
+            + max(len(instrument.message_events) - max_instants, 0),
+        },
+    }
+
+
+def write_perfetto(instrument, path, max_instants=20_000):
+    """Write ``path`` as Chrome trace-event JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_perfetto(instrument, max_instants=max_instants), handle)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def metrics_dict(instrument):
+    """JSON-serializable metrics summary of one instrumented run."""
+    end = instrument.now
+    series = {
+        group: {str(node): s.as_dict(end_time=end) for node, s in sorted(table.items())}
+        for group, table in instrument.series_tables().items()
+    }
+    return {
+        "sim_cycles": end,
+        "probe_counts": dict(instrument.counts),
+        "message_kinds": dict(instrument.message_kinds),
+        "span_latency": {
+            category: hist.as_dict() for category, hist in instrument.latency.items()
+        },
+        "series": series,
+        "spans_recorded": len(instrument.spans.spans),
+        "spans_dropped": instrument.spans.dropped,
+        "messages_dropped": instrument.messages_dropped,
+    }
+
+
+def write_metrics(instrument, path, extra=None):
+    """Write the metrics dump; ``extra`` merges in run context (workload,
+    protocol, wall time) from the caller."""
+    payload = metrics_dict(instrument)
+    if extra:
+        payload.update(extra)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# ASCII timeline
+# ----------------------------------------------------------------------
+_DENSITY = " .:-=+*#%@"
+
+
+def ascii_timeline(instrument, width=72, categories=("miss", "sync")):
+    """A terminal-width density timeline: one row per lane, each column a
+    bucket of simulated time shaded by how much of it the lane spent
+    inside a span of the selected categories."""
+    spans = [s for s in instrument.finished_spans() if s.category in categories]
+    end = max((s.end for s in spans), default=instrument.now) or 1
+    lanes = {}
+    for span in spans:
+        lanes.setdefault((span.lane, span.node), []).append(span)
+    if not lanes:
+        return "(no spans recorded)"
+    bucket = end / width
+    lines = [
+        f"timeline: 0 .. {end} cycles, {bucket:.0f} cycles/column "
+        f"(categories: {', '.join(categories)})"
+    ]
+    for (lane, node), lane_spans in sorted(lanes.items()):
+        fill = [0.0] * width
+        for span in lane_spans:
+            lo = min(int(span.start / bucket), width - 1)
+            hi = min(int(max(span.end - 1, span.start) / bucket), width - 1)
+            for col in range(lo, hi + 1):
+                col_start = col * bucket
+                col_end = col_start + bucket
+                overlap = min(span.end, col_end) - max(span.start, col_start)
+                fill[col] += max(overlap, 0) / bucket
+        row = "".join(
+            _DENSITY[min(int(f * (len(_DENSITY) - 1)), len(_DENSITY) - 1)] for f in fill
+        )
+        lines.append(f"{lane}{node:<4d} |{row}|")
+    return "\n".join(lines)

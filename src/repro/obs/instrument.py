@@ -1,0 +1,274 @@
+"""The central instrumentation bus.
+
+One :class:`Instrument` is attached to a :class:`~repro.system.Machine`
+at construction time (``Machine(config, program, instrument=inst)``); the
+machine hands it to every component, and each component keeps the
+reference in a local attribute (``self.obs``).  A probe site is::
+
+    if self.obs is not None:
+        self.obs.cache_fill(self.node, block, state, si, tearoff)
+
+so with no instrument attached (the default) the entire layer costs one
+attribute load and an ``is not None`` test per probe — the null case is
+decided once, at attach time, by storing ``None``.
+
+The instrument does three things with the probe stream:
+
+* **counts** every probe and every message kind;
+* **stitches spans** (:mod:`repro.obs.spans`): cache-side miss
+  transactions (MSHR open → close), directory transactions (request →
+  grant), invalidation round trips (INV → ack) and synchronization
+  episodes (enter → exit), each feeding a latency
+  :class:`~repro.obs.samplers.Histogram`;
+* **samples time series** (:mod:`repro.obs.samplers`): per-node FIFO
+  occupancy, write-buffer depth, directory occupancy (open transactions
+  per home) and network-interface queue depth.
+
+Exporters (:mod:`repro.obs.export`) turn the result into a
+Chrome/Perfetto ``trace.json``, a JSON metrics dump, or an ASCII
+timeline.
+"""
+
+from collections import Counter
+
+from repro.obs.samplers import Histogram, TimeSeries
+from repro.obs.spans import LANE_DIR, LANE_PROC, SpanTracker
+
+#: Span categories with latency histograms.
+CATEGORIES = ("miss", "dir", "inv", "sync")
+
+
+class Instrument:
+    """Typed probe points, span stitching and time-series sampling.
+
+    Parameters
+    ----------
+    max_message_events:
+        Bound on individually-recorded message events (instants in the
+        Perfetto export).  Counting is never bounded; 0 disables the
+        per-message log entirely.
+    max_spans:
+        Bound on retained finished spans (latency histograms keep
+        accumulating past it).
+    """
+
+    #: Span categories, exposed on the class for consumers holding an
+    #: instance (the CLI's latency summary iterates them).
+    CATEGORIES = CATEGORIES
+
+    def __init__(self, max_message_events=100_000, max_spans=200_000):
+        self.sim = None
+        self.n_processors = 0
+        self.counts = Counter()
+        self.message_kinds = Counter()
+        self.spans = SpanTracker(max_spans=max_spans)
+        self.latency = {category: Histogram(category) for category in CATEGORIES}
+        self.fifo_series = {}
+        self.wb_series = {}
+        self.dir_series = {}
+        self.ni_series = {}
+        self.message_events = []
+        self.max_message_events = max_message_events
+        self.messages_dropped = 0
+        self._dir_open = Counter()
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def bind(self, sim, n_processors):
+        """Called by the machine when the instrument is attached."""
+        if self.sim is not None and self.sim is not sim:
+            raise ValueError("an Instrument can only be attached to one machine")
+        self.sim = sim
+        self.n_processors = max(self.n_processors, n_processors)
+
+    @property
+    def now(self):
+        return self.sim.now if self.sim is not None else 0
+
+    def _series(self, table, node, prefix):
+        series = table.get(node)
+        if series is None:
+            series = table[node] = TimeSeries(f"{prefix}{node}")
+        return series
+
+    # ------------------------------------------------------------------
+    # Network probes
+    # ------------------------------------------------------------------
+    def message_send(self, msg, is_network):
+        self.counts["message_send"] += 1
+        self.message_kinds[msg.kind.name] += 1
+        if self.max_message_events:
+            if len(self.message_events) < self.max_message_events:
+                self.message_events.append(
+                    (self.now, msg.kind.name, msg.src, msg.dst, msg.block, is_network)
+                )
+            else:
+                self.messages_dropped += 1
+
+    def message_receive(self, msg, is_network):
+        self.counts["message_receive"] += 1
+
+    def ni_queue(self, node, depth):
+        """Network-interface injection queue depth changed."""
+        self._series(self.ni_series, node, "ni").record(self.now, depth)
+
+    # ------------------------------------------------------------------
+    # Cache probes
+    # ------------------------------------------------------------------
+    def cache_fill(self, node, block, state_name, si, tearoff):
+        self.counts["cache_fill"] += 1
+        if si:
+            self.counts["cache_fill_si"] += 1
+        if tearoff:
+            self.counts["cache_fill_tearoff"] += 1
+
+    def cache_evict(self, node, block, dirty):
+        self.counts["cache_evict"] += 1
+        if dirty:
+            self.counts["cache_evict_dirty"] += 1
+
+    def cache_self_invalidate(self, node, block, at_sync):
+        self.counts["self_invalidate"] += 1
+        if not at_sync:
+            self.counts["self_invalidate_early"] += 1
+
+    # ------------------------------------------------------------------
+    # MSHR probes (cache-side coherence transactions)
+    # ------------------------------------------------------------------
+    def mshr_open(self, node, block, kind):
+        self.counts["mshr_open"] += 1
+        self.spans.begin(
+            ("mshr", node, block),
+            "miss",
+            f"{kind} blk{block}",
+            LANE_PROC,
+            node,
+            self.now,
+            kind=kind,
+            block=block,
+        )
+
+    def mshr_close(self, node, block):
+        self.counts["mshr_close"] += 1
+        span = self.spans.end(("mshr", node, block), self.now)
+        if span is not None:
+            self.latency["miss"].add(span.duration)
+
+    # ------------------------------------------------------------------
+    # Directory probes
+    # ------------------------------------------------------------------
+    def dir_txn_begin(self, home, block, kind, requester):
+        key = ("dir", home, block)
+        self.counts["dir_txn"] += 1
+        if not self.spans.is_open(key):
+            self._dir_open[home] += 1
+            self._series(self.dir_series, home, "dir").record(
+                self.now, self._dir_open[home]
+            )
+        self.spans.begin(
+            key,
+            "dir",
+            f"{kind} blk{block}",
+            LANE_DIR,
+            home,
+            self.now,
+            kind=kind,
+            block=block,
+            requester=requester,
+        )
+
+    def dir_txn_end(self, home, block):
+        span = self.spans.end(("dir", home, block), self.now)
+        if span is not None:
+            self.latency["dir"].add(span.duration)
+            self._dir_open[home] -= 1
+            self._series(self.dir_series, home, "dir").record(
+                self.now, self._dir_open[home]
+            )
+
+    def inv_sent(self, home, block, target):
+        self.counts["inv_sent"] += 1
+        self.spans.begin(
+            ("inv", home, block, target),
+            "inv",
+            f"inv blk{block}->{target}",
+            LANE_DIR,
+            home,
+            self.now,
+            block=block,
+            target=target,
+        )
+
+    def inv_acked(self, home, block, target):
+        self.counts["inv_acked"] += 1
+        span = self.spans.end(("inv", home, block, target), self.now)
+        if span is not None:
+            self.latency["inv"].add(span.duration)
+
+    # ------------------------------------------------------------------
+    # Self-invalidation FIFO probes
+    # ------------------------------------------------------------------
+    def fifo_push(self, node, depth):
+        self.counts["fifo_push"] += 1
+        self._series(self.fifo_series, node, "fifo").record(self.now, depth)
+
+    def fifo_pop(self, node, depth):
+        self.counts["fifo_pop"] += 1
+        self._series(self.fifo_series, node, "fifo").record(self.now, depth)
+
+    def fifo_overflow(self, node):
+        self.counts["fifo_overflow"] += 1
+
+    # ------------------------------------------------------------------
+    # Write-buffer probes
+    # ------------------------------------------------------------------
+    def wb_fill(self, node, depth):
+        self.counts["wb_fill"] += 1
+        self._series(self.wb_series, node, "wb").record(self.now, depth)
+
+    def wb_drain(self, node, depth):
+        self.counts["wb_drain"] += 1
+        self._series(self.wb_series, node, "wb").record(self.now, depth)
+
+    # ------------------------------------------------------------------
+    # Synchronization probes
+    # ------------------------------------------------------------------
+    def sync_enter(self, node, kind):
+        self.counts["sync_enter"] += 1
+        self.spans.begin(
+            ("sync", node),
+            "sync",
+            kind,
+            LANE_PROC,
+            node,
+            self.now,
+            kind=kind,
+        )
+
+    def sync_exit(self, node, kind):
+        self.counts["sync_exit"] += 1
+        span = self.spans.end(("sync", node), self.now)
+        if span is not None:
+            self.latency["sync"].add(span.duration)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def finished_spans(self):
+        return list(self.spans.spans)
+
+    def series_tables(self):
+        """{group: {node: TimeSeries}} for every sampled counter."""
+        return {
+            "fifo_occupancy": self.fifo_series,
+            "write_buffer_depth": self.wb_series,
+            "directory_occupancy": self.dir_series,
+            "ni_queue_depth": self.ni_series,
+        }
+
+    def __repr__(self):
+        return (
+            f"Instrument(spans={len(self.spans.spans)}, "
+            f"messages={self.counts['message_send']})"
+        )

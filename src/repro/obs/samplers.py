@@ -1,0 +1,128 @@
+"""Time-series samplers and latency histograms.
+
+A :class:`TimeSeries` records ``(time, value)`` level changes — FIFO
+occupancy, write-buffer depth, directory occupancy, network-interface
+queue length — exactly at the cycles the level changes, so the series is
+both a Perfetto counter track and, via :meth:`TimeSeries.histogram`, a
+*time-weighted* value distribution (a level held for 1000 cycles weighs
+1000x one held for a single cycle).
+
+A :class:`Histogram` accumulates scalar samples (span latencies) and
+reports count/mean/percentiles without storing more than a bounded
+reservoir of exact values.
+"""
+
+import bisect
+
+
+class TimeSeries:
+    """Level changes of one counter over simulated time."""
+
+    __slots__ = ("name", "times", "values", "max_points", "dropped")
+
+    def __init__(self, name, max_points=100_000):
+        self.name = name
+        self.times = []
+        self.values = []
+        self.max_points = max_points
+        self.dropped = 0
+
+    def record(self, time, value):
+        """Record the counter's new level at ``time``."""
+        if self.times and self.times[-1] == time:
+            # Same-cycle updates collapse to the final level.
+            self.values[-1] = value
+            return
+        if self.max_points and len(self.times) >= self.max_points:
+            self.dropped += 1
+            return
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self):
+        return len(self.times)
+
+    @property
+    def last(self):
+        return self.values[-1] if self.values else 0
+
+    def value_at(self, time):
+        """The level in effect at ``time`` (0 before the first sample)."""
+        idx = bisect.bisect_right(self.times, time) - 1
+        return self.values[idx] if idx >= 0 else 0
+
+    def histogram(self, end_time=None):
+        """Time-weighted distribution of the levels held by this series."""
+        hist = Histogram(self.name)
+        if not self.times:
+            return hist
+        end = end_time if end_time is not None else self.times[-1]
+        for i, value in enumerate(self.values):
+            start = self.times[i]
+            stop = self.times[i + 1] if i + 1 < len(self.times) else end
+            weight = max(stop - start, 0)
+            if weight:
+                hist.add(value, weight)
+        if hist.count == 0:
+            # Degenerate series (all changes in one cycle): weight the
+            # final level once so stats are still defined.
+            hist.add(self.values[-1])
+        return hist
+
+    def as_dict(self, end_time=None):
+        stats = self.histogram(end_time=end_time).as_dict()
+        stats["points"] = len(self.times)
+        stats["points_dropped"] = self.dropped
+        return stats
+
+
+class Histogram:
+    """Weighted scalar samples with percentile reporting."""
+
+    __slots__ = ("name", "count", "total", "weight", "minimum", "maximum", "_samples")
+
+    def __init__(self, name=""):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.weight = 0
+        self.minimum = None
+        self.maximum = None
+        self._samples = []  # (value, weight)
+
+    def add(self, value, weight=1):
+        self.count += 1
+        self.total += value * weight
+        self.weight += weight
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+        self._samples.append((value, weight))
+
+    def mean(self):
+        return self.total / self.weight if self.weight else 0.0
+
+    def percentile(self, q):
+        """Weighted percentile ``q`` in [0, 100]."""
+        if not self._samples:
+            return 0
+        ordered = sorted(self._samples)
+        target = self.weight * q / 100.0
+        cumulative = 0
+        for value, weight in ordered:
+            cumulative += weight
+            if cumulative >= target:
+                return value
+        return ordered[-1][0]
+
+    def percentiles(self, qs=(50, 90, 99)):
+        return {f"p{q}": self.percentile(q) for q in qs}
+
+    def as_dict(self):
+        out = {
+            "count": self.count,
+            "min": self.minimum if self.minimum is not None else 0,
+            "max": self.maximum if self.maximum is not None else 0,
+            "mean": round(self.mean(), 3),
+        }
+        out.update(self.percentiles())
+        return out

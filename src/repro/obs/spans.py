@@ -1,0 +1,118 @@
+"""Spans: probes stitched into timed intervals.
+
+A :class:`Span` is one interval on one *lane* — a processor, a directory
+or the network — with a category that names the protocol activity it
+covers:
+
+``miss``
+    Cache-side coherence transaction, MSHR open → close (read miss,
+    write miss or upgrade; request → directory serialization → grant →
+    fill).
+``dir``
+    Directory-side transaction, request intake → response grant
+    (including the busy period spent collecting acknowledgments).
+``inv``
+    One explicit invalidation round trip, INV sent → acknowledgment
+    consumed.
+``sync``
+    One synchronization operation on a processor (write-buffer drain +
+    self-invalidation flush + lock/barrier wait).
+``flush``
+    One self-invalidation flush inside a sync operation.
+
+The :class:`SpanTracker` owns the open-span bookkeeping: ``begin`` is
+idempotent per key (re-begun spans keep the earliest start, which is what
+the directory's deferred-request re-dispatch wants) and ``end`` tolerates
+unmatched keys (a span whose begin probe predates instrument attachment
+simply doesn't exist).
+"""
+
+LANE_PROC = "proc"
+LANE_DIR = "dir"
+LANE_NET = "net"
+
+
+class Span:
+    """One finished interval on a lane."""
+
+    __slots__ = ("category", "name", "lane", "node", "start", "end", "args")
+
+    def __init__(self, category, name, lane, node, start, end, args=None):
+        self.category = category
+        self.name = name
+        self.lane = lane
+        self.node = node
+        self.start = start
+        self.end = end
+        self.args = args or {}
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+    def as_dict(self):
+        return {
+            "category": self.category,
+            "name": self.name,
+            "lane": self.lane,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "args": dict(self.args),
+        }
+
+    def __repr__(self):
+        return (
+            f"Span({self.category}:{self.name} {self.lane}{self.node} "
+            f"[{self.start}, {self.end}])"
+        )
+
+
+class SpanTracker:
+    """Open-span bookkeeping plus the finished-span list."""
+
+    __slots__ = ("spans", "_open", "max_spans", "dropped")
+
+    def __init__(self, max_spans=200_000):
+        self.spans = []
+        self._open = {}
+        self.max_spans = max_spans
+        self.dropped = 0
+
+    def begin(self, key, category, name, lane, node, start, **args):
+        """Open a span under ``key``; a second begin for a live key keeps
+        the earlier start (directory deferred-request re-dispatch)."""
+        if key in self._open:
+            return
+        self._open[key] = (category, name, lane, node, start, args)
+
+    def annotate(self, key, **args):
+        """Merge extra args into an open span, if it exists."""
+        entry = self._open.get(key)
+        if entry is not None:
+            entry[5].update(args)
+
+    def end(self, key, end, **args):
+        """Close the span under ``key``; returns it (or None if unmatched)."""
+        entry = self._open.pop(key, None)
+        if entry is None:
+            return None
+        category, name, lane, node, start, open_args = entry
+        if args:
+            open_args.update(args)
+        span = Span(category, name, lane, node, start, end, open_args)
+        if self.max_spans and len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return span
+        self.spans.append(span)
+        return span
+
+    def is_open(self, key):
+        return key in self._open
+
+    def open_count(self):
+        return len(self._open)
+
+    def by_category(self, category):
+        return [span for span in self.spans if span.category == category]

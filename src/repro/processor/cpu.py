@@ -38,7 +38,8 @@ class StampSource:
 class Processor:
     """One trace-driven CPU."""
 
-    def __init__(self, sim, config, node, controller, trace, locks, barrier, stamps):
+    def __init__(self, sim, config, node, controller, trace, locks, barrier, stamps,
+                 instrument=None):
         self.sim = sim
         self.node = node
         self.controller = controller
@@ -46,6 +47,7 @@ class Processor:
         self.locks = locks
         self.barrier = barrier
         self.stamps = stamps
+        self.obs = instrument
         self.block_shift = config.block_shift
         self.hit_cycles = config.cache_hit_cycles
         self.quantum = max(1, config.quantum)
@@ -183,6 +185,9 @@ class Processor:
         sim = self.sim
         breakdown = self.breakdown
         drain_start = sim.now
+        if self.obs is not None:
+            name = "lock" if kind == OP_LOCK else ("unlock" if kind == OP_UNLOCK else "barrier")
+            self.obs.sync_enter(self.node, name)
 
         def drained():
             breakdown.synch_wb += sim.now - drain_start
@@ -216,6 +221,8 @@ class Processor:
         def after_swap():
             if self.locks.acquire(addr, self.node, granted):
                 self.breakdown.sync += sim.now - start
+                if self.obs is not None:
+                    self.obs.sync_exit(self.node, "lock")
                 self._advance()
 
         def granted():
@@ -225,6 +232,8 @@ class Processor:
 
         def finish():
             self.breakdown.sync += sim.now - start
+            if self.obs is not None:
+                self.obs.sync_exit(self.node, "lock")
             self._advance()
 
         self._sync_write(block, after_swap)
@@ -237,6 +246,8 @@ class Processor:
         def after_release():
             self.locks.release(addr, self.node)
             self.breakdown.sync += sim.now - start
+            if self.obs is not None:
+                self.obs.sync_exit(self.node, "unlock")
             self._advance()
 
         self._sync_write(block, after_release)
@@ -247,6 +258,8 @@ class Processor:
 
         def released():
             self.breakdown.sync += sim.now - start
+            if self.obs is not None:
+                self.obs.sync_exit(self.node, "barrier")
             self._advance()
 
         self.barrier.arrive(self.node, barrier_id, released)

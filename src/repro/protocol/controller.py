@@ -41,6 +41,8 @@ MSHR_READ = 0
 MSHR_WRITE = 1
 MSHR_UPGRADE = 2
 
+_MSHR_NAMES = {MSHR_READ: "read miss", MSHR_WRITE: "write miss", MSHR_UPGRADE: "upgrade"}
+
 #: statuses returned to the processor
 HIT = "hit"
 DONE = "done"
@@ -81,7 +83,8 @@ class Mshr:
 class CacheController:
     """Cache + controller + write buffer for one node."""
 
-    def __init__(self, sim, config, node, network, home_map, misses, monitor=None):
+    def __init__(self, sim, config, node, network, home_map, misses, monitor=None,
+                 instrument=None):
         self.sim = sim
         self.config = config
         self.node = node
@@ -89,15 +92,22 @@ class CacheController:
         self.home_map = home_map
         self.misses = misses
         self.monitor = monitor
+        self.obs = instrument
         self.cache = Cache(config, node)
         self.resource = Resource(sim, name=f"cc{node}")
         self.mshrs = {}
         self.write_buffer = (
-            CoalescingWriteBuffer(config.write_buffer_entries)
+            CoalescingWriteBuffer(
+                config.write_buffer_entries, node=node, instrument=instrument
+            )
             if config.consistency is Consistency.WC
             else None
         )
-        self.mechanism = make_mechanism(config, self.cache) if config.dsi_enabled else None
+        self.mechanism = (
+            make_mechanism(config, self.cache, node=node, instrument=instrument)
+            if config.dsi_enabled
+            else None
+        )
         self._wc = config.consistency is Consistency.WC
         self._send_versions = config.dsi_enabled
         self._deferred_fills = []
@@ -171,8 +181,7 @@ class CacheController:
         self.misses.bump("read_misses")
         self._drop_sc_tearoff()
         mshr = Mshr(MSHR_READ, block, on_done=on_done)
-        mshr.issued_at = self.sim.now
-        self.mshrs[block] = mshr
+        self._register_mshr(mshr)
         self._issue(MsgKind.GETS, block)
         return WAIT
 
@@ -221,8 +230,7 @@ class CacheController:
                     self.monitor.on_invalidate(self.node, block)
             mshr = Mshr(MSHR_WRITE, block, on_done=on_done, stamp=stamp, sync=sync)
             kind = MsgKind.GETX
-        mshr.issued_at = self.sim.now
-        self.mshrs[block] = mshr
+        self._register_mshr(mshr)
         self._issue(kind, block)
         return WAIT
 
@@ -265,8 +273,7 @@ class CacheController:
                     self.monitor.on_invalidate(self.node, block)
             mshr = Mshr(MSHR_WRITE, block, stamp=stamp)
             kind = MsgKind.GETX
-        mshr.issued_at = self.sim.now
-        self.mshrs[block] = mshr
+        self._register_mshr(mshr)
         self._issue(kind, block)
         return DONE
 
@@ -305,11 +312,15 @@ class CacheController:
         for frame in tearoff_frames:
             if self.monitor:
                 self.monitor.on_invalidate(self.node, frame.tag)
+            if self.obs is not None:
+                self.obs.cache_self_invalidate(self.node, frame.tag, at_sync=True)
             self.cache.invalidate(frame)
         for frame in tracked:
             notices.append(self._si_notice(frame))
             if self.monitor:
                 self.monitor.on_invalidate(self.node, frame.tag)
+            if self.obs is not None:
+                self.obs.cache_self_invalidate(self.node, frame.tag, at_sync=True)
             self.cache.invalidate(frame)
         self.resource.submit(cost, self._flush_send, notices, on_done)
 
@@ -356,6 +367,8 @@ class CacheController:
         notice = None if frame.tearoff else self._si_notice(frame)
         if self.monitor:
             self.monitor.on_invalidate(self.node, frame.tag)
+        if self.obs is not None:
+            self.obs.cache_self_invalidate(self.node, frame.tag, at_sync=False)
         self.cache.invalidate(frame)
         if notice is not None:
             self.resource.submit(
@@ -367,6 +380,17 @@ class CacheController:
     # ------------------------------------------------------------------
     # Outgoing requests
     # ------------------------------------------------------------------
+    def _register_mshr(self, mshr):
+        """Record an outstanding transaction (one probe span per MSHR)."""
+        mshr.issued_at = self.sim.now
+        self.mshrs[mshr.block] = mshr
+        if self.obs is not None:
+            self.obs.mshr_open(self.node, mshr.block, _MSHR_NAMES[mshr.kind])
+
+    def _close_mshr(self, block):
+        if self.obs is not None:
+            self.obs.mshr_close(self.node, block)
+
     def _issue(self, kind, block):
         version = self.cache.stored_version(block) if self._send_versions else None
         msg = Message(
@@ -403,6 +427,7 @@ class CacheController:
         mshr = self.mshrs.pop(msg.block, None)
         if mshr is None or mshr.kind != MSHR_READ:
             raise ProtocolError(f"DATA for block {msg.block} without a read MSHR")
+        self._close_mshr(msg.block)
         self._fill(
             msg.block,
             SHARED,
@@ -441,8 +466,7 @@ class CacheController:
                 frame.pinned = True
                 self.misses.bump("upgrades")
                 kind = MsgKind.UPGRADE
-            follow_on.issued_at = self.sim.now
-            self.mshrs[msg.block] = follow_on
+            self._register_mshr(follow_on)
             self._issue(kind, msg.block)
 
     def _handle_data_ex(self, msg):
@@ -453,6 +477,7 @@ class CacheController:
             # Migratory optimization: the directory answered a read with an
             # exclusive (clean) copy, anticipating the write to follow.
             self.mshrs.pop(msg.block)
+            self._close_mshr(msg.block)
             self._fill(
                 msg.block,
                 EXCLUSIVE,
@@ -519,7 +544,8 @@ class CacheController:
         self._write_complete(mshr, msg.inval_wait)
 
     def _write_complete(self, mshr, inval_wait):
-        self.mshrs.pop(mshr.block, None)
+        if self.mshrs.pop(mshr.block, None) is not None:
+            self._close_mshr(mshr.block)
         if self.write_buffer is not None and self.write_buffer.get(mshr.block) is not None:
             self.write_buffer.mark_data_arrived(mshr.block)
             self.write_buffer.retire(mshr.block)
@@ -598,6 +624,10 @@ class CacheController:
             self._evict(victim)
         if self.monitor:
             self.monitor.on_fill(self.node, block, state, data, tearoff)
+        if self.obs is not None:
+            self.obs.cache_fill(
+                self.node, block, "E" if state == EXCLUSIVE else "S", si, tearoff
+            )
         if tearoff and self._sc_tearoff:
             # SC allows at most one tear-off copy per cache (§3.3).
             self._drop_sc_tearoff()
@@ -617,6 +647,8 @@ class CacheController:
         if frame.valid and frame.tearoff and frame.tag == block:
             if self.monitor:
                 self.monitor.on_invalidate(self.node, block)
+            if self.obs is not None:
+                self.obs.cache_self_invalidate(self.node, block, at_sync=False)
             self.misses.bump("self_invalidations")
             self.cache.invalidate(frame)
 
@@ -637,6 +669,8 @@ class CacheController:
 
     def _evict(self, victim):
         self.misses.bump("replacements")
+        if self.obs is not None:
+            self.obs.cache_evict(self.node, victim.block, victim.dirty)
         if victim.tearoff:
             return  # untracked: vanishes silently
         if self.monitor:

@@ -18,9 +18,30 @@ from repro.stats.report import RunResult
 
 
 class RunRecord(RunResult):
-    """Everything measured in one simulation run, in portable form."""
+    """Everything measured in one simulation run, in portable form.
 
-    __slots__ = ()
+    Beyond the simulated quantities a record carries *run telemetry* —
+    ``wall_time_s`` (host seconds the simulation took) and
+    ``sim_cycles_per_s`` (simulated cycles per host second) — populated
+    by whoever executed the run (:func:`repro.harness.runpool.execute_spec`
+    in pool workers, the CLI for one-off runs).  Telemetry is volatile
+    (two identical simulations have different wall times), so it is
+    excluded from record equality.
+    """
+
+    __slots__ = ("wall_time_s", "sim_cycles_per_s")
+
+    def __init__(self, *args, wall_time_s=None, sim_cycles_per_s=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.wall_time_s = wall_time_s
+        self.sim_cycles_per_s = sim_cycles_per_s
+
+    def set_timing(self, wall_time_s):
+        """Record how long the simulation took on the host."""
+        self.wall_time_s = wall_time_s
+        self.sim_cycles_per_s = (
+            self.exec_time / wall_time_s if wall_time_s and wall_time_s > 0 else None
+        )
 
     @classmethod
     def from_result(cls, result):
@@ -56,6 +77,8 @@ class RunRecord(RunResult):
             "events_fired": self.events_fired,
             "dir_busy_cycles": self.dir_busy_cycles,
             "ni_busy_cycles": self.ni_busy_cycles,
+            "wall_time_s": self.wall_time_s,
+            "sim_cycles_per_s": self.sim_cycles_per_s,
         }
 
     @classmethod
@@ -84,12 +107,21 @@ class RunRecord(RunResult):
             events_fired=payload["events_fired"],
             dir_busy_cycles=payload["dir_busy_cycles"],
             ni_busy_cycles=payload["ni_busy_cycles"],
+            wall_time_s=payload.get("wall_time_s"),
+            sim_cycles_per_s=payload.get("sim_cycles_per_s"),
         )
+
+    def _measured_dict(self):
+        """to_dict minus the volatile run telemetry (equality basis)."""
+        payload = self.to_dict()
+        payload.pop("wall_time_s", None)
+        payload.pop("sim_cycles_per_s", None)
+        return payload
 
     def __eq__(self, other):
         if not isinstance(other, RunRecord):
             return NotImplemented
-        return self.to_dict() == other.to_dict()
+        return self._measured_dict() == other._measured_dict()
 
     def __ne__(self, other):
         equal = self.__eq__(other)

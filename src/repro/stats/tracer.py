@@ -33,6 +33,12 @@ class TraceEvent:
         return f"TraceEvent({self.time}, {self.kind}, {self.src}->{self.dst}, blk={self.block})"
 
 
+#: Default bound on retained events.  A full-scale barnes run sends every
+#: message through the tracer; unbounded retention used to hold all of
+#: them in RAM.
+DEFAULT_MAX_EVENTS = 100_000
+
+
 class MessageTracer:
     """Records messages as they are sent.
 
@@ -41,23 +47,37 @@ class MessageTracer:
     blocks:
         Optional iterable of block numbers; only messages for these blocks
         are recorded.
+    max_events:
+        Retain at most this many events; further matching messages are
+        *counted* (``dropped``) but not stored, and the drop count is
+        reported by :meth:`format`.  ``None`` applies the default bound
+        (100k); 0 means unbounded.
     limit:
-        Stop recording after this many events (0 = unlimited).
+        Backwards-compatible alias for ``max_events`` (the pre-cap
+        keyword); ignored when ``max_events`` is given explicitly.
     """
 
-    def __init__(self, blocks=None, limit=0):
+    def __init__(self, blocks=None, limit=0, max_events=None):
         self.blocks = set(blocks) if blocks is not None else None
-        self.limit = limit
+        if max_events is None:
+            max_events = limit if limit else DEFAULT_MAX_EVENTS
+        self.max_events = max_events
+        self.dropped = 0
         self.events = []
 
     @property
+    def limit(self):
+        return self.max_events
+
+    @property
     def full(self):
-        return self.limit and len(self.events) >= self.limit
+        return bool(self.max_events) and len(self.events) >= self.max_events
 
     def record(self, time, msg, is_local):
-        if self.full:
-            return
         if self.blocks is not None and msg.block not in self.blocks:
+            return
+        if self.full:
+            self.dropped += 1
             return
         flags = []
         if msg.si:
@@ -93,7 +113,13 @@ class MessageTracer:
 
     def format(self, limit=None):
         rows = [event.row() for event in self.events[: limit or len(self.events)]]
-        return format_table(["time", "message", "path", "block", "flags"], rows)
+        text = format_table(["time", "message", "path", "block", "flags"], rows)
+        if self.dropped:
+            text += (
+                f"\n... {self.dropped} further event(s) dropped "
+                f"(max_events={self.max_events})"
+            )
+        return text
 
     def __len__(self):
         return len(self.events)

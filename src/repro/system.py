@@ -28,7 +28,7 @@ from repro.stats.report import RunResult
 class Machine:
     """A complete simulated multiprocessor bound to one program."""
 
-    def __init__(self, config, program, network_cls=Network):
+    def __init__(self, config, program, network_cls=Network, instrument=None):
         if not isinstance(config, SystemConfig):
             raise ConfigError("config must be a SystemConfig")
         if program.n_procs != config.n_processors:
@@ -41,7 +41,10 @@ class Machine:
         self.sim = Simulator(max_events=config.max_events or None)
         self.counters = MessageCounters()
         self.misses = MissCounters()
-        self.network = network_cls(self.sim, config, self.counters)
+        self.instrument = instrument
+        if instrument is not None:
+            instrument.bind(self.sim, config.n_processors)
+        self.network = network_cls(self.sim, config, self.counters, instrument=instrument)
         if program.home == "segment":
             self.home_map = SegmentHome(config.n_processors, config.block_shift)
         elif program.home == "round-robin":
@@ -51,12 +54,15 @@ class Machine:
         self.monitor = CoherenceMonitor(config) if config.check_invariants else None
         policy = make_policy(config)
         self.directories = [
-            DirectoryController(self.sim, config, node, self.network, policy)
+            DirectoryController(
+                self.sim, config, node, self.network, policy, instrument=instrument
+            )
             for node in range(config.n_processors)
         ]
         self.controllers = [
             CacheController(
-                self.sim, config, node, self.network, self.home_map, self.misses, self.monitor
+                self.sim, config, node, self.network, self.home_map, self.misses,
+                self.monitor, instrument=instrument,
             )
             for node in range(config.n_processors)
         ]
@@ -75,6 +81,7 @@ class Machine:
                 self.locks,
                 self.barrier,
                 self.stamps,
+                instrument=instrument,
             )
             for node in range(config.n_processors)
         ]
@@ -120,6 +127,6 @@ class Machine:
         )
 
 
-def simulate(config, program, network_cls=Network):
+def simulate(config, program, network_cls=Network, instrument=None):
     """Convenience: build a machine, run the program, return the result."""
-    return Machine(config, program, network_cls=network_cls).run()
+    return Machine(config, program, network_cls=network_cls, instrument=instrument).run()

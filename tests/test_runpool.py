@@ -23,7 +23,9 @@ def _specs():
 
 
 def _dicts(records):
-    return {spec.key(): record.to_dict() for spec, record in records.items()}
+    """Measured quantities per spec (wall-time telemetry is volatile and
+    excluded, matching RunRecord equality)."""
+    return {spec.key(): record._measured_dict() for spec, record in records.items()}
 
 
 class TestParallelEquivalence:
@@ -146,6 +148,54 @@ class TestRunnerIntegration:
         assert warm == cold
 
 
+class TestRunTelemetry:
+    def test_executed_records_carry_timing(self):
+        pool = RunPool(jobs=1)
+        record = pool.run(_specs()[0])
+        assert record.wall_time_s is not None and record.wall_time_s > 0
+        assert record.sim_cycles_per_s == pytest.approx(
+            record.exec_time / record.wall_time_s
+        )
+
+    def test_timing_survives_parallel_workers(self):
+        records = RunPool(jobs=4).run_batch(_specs())
+        assert all(r.wall_time_s is not None for r in records.values())
+
+    def test_timing_excluded_from_equality(self):
+        pool = RunPool(jobs=1)
+        spec = _specs()[0]
+        first = pool.run(spec)
+        second = RunPool(jobs=1).run(spec)
+        second.wall_time_s = (first.wall_time_s or 0) + 100.0
+        assert first == second
+
+    def test_cached_records_keep_original_timing(self, tmp_path):
+        spec = _specs()[0]
+        cold = RunPool(jobs=1, cache_dir=str(tmp_path)).run(spec)
+        warm = RunPool(jobs=1, cache_dir=str(tmp_path)).run(spec)
+        assert warm.wall_time_s == pytest.approx(cold.wall_time_s)
+
+    def test_manifest_lists_every_run(self, tmp_path):
+        specs = _specs()
+        cold = RunPool(jobs=1, cache_dir=str(tmp_path))
+        cold.run_batch(specs)
+        manifest = cold.manifest()
+        assert manifest["executed"] == len(specs)
+        assert manifest["cache_hits"] == 0
+        assert len(manifest["runs"]) == len(specs)
+        entry = manifest["runs"][0]
+        assert entry["workload"] == "write_conflict"
+        assert entry["cached"] is False
+        assert entry["wall_time_s"] > 0
+        assert entry["sim_cycles_per_s"] > 0
+
+        warm = RunPool(jobs=1, cache_dir=str(tmp_path))
+        warm.run_batch(specs)
+        warm_manifest = warm.manifest()
+        assert warm_manifest["cache_hits"] == len(specs)
+        assert all(entry["cached"] for entry in warm_manifest["runs"])
+
+
 class TestCliJson:
     def test_experiment_json(self, capsys):
         import json
@@ -158,6 +208,9 @@ class TestCliJson:
         assert payload["experiments"][0]["row_dicts"]
         assert payload["meta"]["simulation_runs"] > 0
         assert payload["meta"]["jobs"] == 1
+        manifest = payload["run_manifest"]
+        assert manifest["executed"] + manifest["cache_hits"] == len(manifest["runs"])
+        assert all("wall_time_s" in entry for entry in manifest["runs"])
 
     def test_run_json(self, capsys):
         import json
@@ -171,3 +224,5 @@ class TestCliJson:
         payload = json.loads(capsys.readouterr().out)
         assert payload["record"]["exec_time"] > 0
         assert payload["protocol"] == "SC+DSI(V)"
+        assert payload["record"]["wall_time_s"] > 0
+        assert payload["record"]["sim_cycles_per_s"] > 0

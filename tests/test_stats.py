@@ -53,6 +53,28 @@ class TestMessageCounters:
         assert data["invalidations"] == 1
         assert data["total_network"] == 1
 
+    def test_as_dict_round_trip(self):
+        counters = MessageCounters()
+        counters.count("GETS", True, False)
+        counters.count("GETS", False, False)
+        counters.count("INV", True, False)
+        counters.count("DATA", True, True)
+        data = counters.as_dict()
+
+        rebuilt = MessageCounters()
+        rebuilt.network.update(data["network"])
+        rebuilt.local.update(data["local"])
+        assert rebuilt.as_dict() == data
+        assert rebuilt.total_network() == counters.total_network()
+        assert rebuilt.invalidations() == counters.invalidations()
+
+    def test_as_dict_json_serializable(self):
+        import json
+
+        counters = MessageCounters()
+        counters.count("UPGRADE", True, False)
+        assert json.loads(json.dumps(counters.as_dict())) == counters.as_dict()
+
 
 class TestMissCounters:
     def test_miss_rate(self):

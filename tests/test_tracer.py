@@ -43,11 +43,32 @@ class TestRecording:
         assert len(tracer) == 3
         assert tracer.full
 
+    def test_max_events_caps_and_counts_drops(self):
+        unbounded = traced_run({"max_events": 0})
+        capped = traced_run({"max_events": 3})
+        assert len(capped) == 3
+        assert capped.dropped == len(unbounded) - 3
+
+    def test_default_cap_applies(self):
+        tracer = MessageTracer()
+        assert tracer.max_events == 100_000
+        assert not tracer.full and tracer.dropped == 0
+
+    def test_max_events_wins_over_limit(self):
+        tracer = MessageTracer(limit=5, max_events=7)
+        assert tracer.max_events == 7
+        assert tracer.limit == 7
+
     def test_block_filter(self):
         block = seg_addr(0) >> 5
         tracer = traced_run({"blocks": [block]})
         assert tracer.events
         assert all(event.block == block for event in tracer.events)
+
+    def test_block_filter_misses_do_not_count_as_drops(self):
+        tracer = traced_run({"blocks": [999_999], "max_events": 1})
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
 
 
 class TestQueries:
@@ -59,6 +80,33 @@ class TestQueries:
         kinds = [event.kind for event in history]
         assert kinds.index("GETX") < kinds.index("GETS")
 
+    def test_block_history_only_that_block(self):
+        def build(b0, b1, ctx):
+            ctx.barrier_all()
+            b0.write(seg_addr(0))
+            b0.write(seg_addr(1))  # second block: other traffic to exclude
+            ctx.barrier_all()
+            b1.read(seg_addr(0))
+            b1.read(seg_addr(1))
+            ctx.barrier_all()
+
+        program = two_proc_program(build)
+        machine = Machine(tiny_config(), program)
+        tracer = attach_tracer(machine, MessageTracer())
+        machine.run()
+        block = seg_addr(0) >> 5
+        history = tracer.block_history(block)
+        assert history
+        assert all(event.block == block for event in history)
+        assert {e.block for e in tracer.events} - {block}
+        assert len(history) < len(tracer.events)
+
+    def test_block_history_times_ordered(self):
+        block = seg_addr(0) >> 5
+        tracer = traced_run()
+        times = [e.time for e in tracer.block_history(block)]
+        assert times == sorted(times)
+
     def test_between_channel(self):
         tracer = traced_run()
         channel = tracer.between(1, 0)
@@ -69,7 +117,13 @@ class TestQueries:
         tracer = traced_run({"limit": 5})
         text = tracer.format()
         assert "message" in text and "path" in text
-        assert len(text.splitlines()) == 2 + 5
+        # 2 header lines, 5 event rows, 1 drop-count line.
+        assert len(text.splitlines()) == 2 + 5 + 1
+        assert "dropped" in text.splitlines()[-1]
+
+    def test_format_no_drop_line_when_nothing_dropped(self):
+        tracer = traced_run()
+        assert "dropped" not in tracer.format()
 
     def test_format_limit(self):
         tracer = traced_run()
