@@ -1,0 +1,21 @@
+"""Table-driven coherence core.
+
+The protocol's states, events and actions (:mod:`repro.coherence.events`),
+the per-variant declarative transition tables
+(:mod:`repro.coherence.cache_table`, :mod:`repro.coherence.dir_table`),
+the table interpreter scaffolding (:mod:`repro.coherence.table`) and the
+exhaustive reachable-state-space checker
+(:mod:`repro.coherence.explore`).  The production controllers in
+:mod:`repro.protocol.controller` and :mod:`repro.directory.controller`
+execute these tables; the checker model-checks them.
+"""
+
+from repro.coherence.variants import Bugs, NO_BUGS, ProtocolVariant, TearoffMode, enumerate_variants
+
+__all__ = [
+    "Bugs",
+    "NO_BUGS",
+    "ProtocolVariant",
+    "TearoffMode",
+    "enumerate_variants",
+]

@@ -1,0 +1,449 @@
+"""Cache-side transition table, one per protocol variant.
+
+Each row reproduces *exactly* one branch of the hand-written controller
+this table replaced; the action names map 1:1 onto the controller's
+bound-method dispatch table.  Rows are grouped by event, and variant
+knobs add or remove whole rows rather than branching inside actions —
+the table for a given variant contains only the transitions that variant
+can take.
+
+Guard names (evaluated as attributes of the dispatch context):
+
+``frame_valid``        the block's frame is valid (an INV can empty E_A)
+``dirty``              the valid copy is dirty
+``pending_write``      a WC write arrived while the read was in flight
+``wb_full``            the coalescing write buffer has no free entry
+``tearoff_grant``      the response's ``tearoff`` flag is set
+``acks_pending_grant`` the response's ``acks_pending`` flag is set (WC
+                       parallel grant)
+"""
+
+from repro.coherence.events import (
+    DONE,
+    HIT,
+    WAIT,
+    CacheAction as A,
+    CacheEvent as E,
+    CacheState as S,
+)
+from repro.coherence.table import (
+    DEFENSIVE,
+    MULTIBLOCK,
+    NORMAL,
+    Transition as T,
+    TransitionTable,
+    rows,
+)
+from repro.coherence.variants import NO_BUGS, TearoffMode
+from repro.config import IdentifyScheme
+
+#: memoized tables, keyed (variant, bugs)
+_CACHE_TABLES = {}
+
+
+def cache_table(variant, bugs=NO_BUGS):
+    key = (variant, bugs)
+    table = _CACHE_TABLES.get(key)
+    if table is None:
+        table = build_cache_table(variant, bugs)
+        _CACHE_TABLES[key] = table
+    return table
+
+
+def build_cache_table(variant, bugs=NO_BUGS):
+    t = []
+    sc_drop = (A.DROP_SC_TEAROFF,) if variant.tearoff is TearoffMode.SC else ()
+    t += _load_rows(variant, sc_drop)
+    t += _store_rows(variant, sc_drop)
+    t += _data_rows(variant)
+    t += _data_ex_rows(variant)
+    t += _upgrade_ack_rows(variant)
+    t += _ack_done_rows(variant)
+    t += _write_after_read_rows(variant)
+    t += _inv_rows(variant)
+    t += _si_rows(variant, bugs)
+    t += _evict_rows(variant)
+    if not variant.wc:
+        # E_A only exists under WC's parallel grants; keep only its error
+        # rows (they document that SC must never see the inputs).
+        t = [row for row in t if row.state is not S.E_A or row.error is not None]
+    return TransitionTable("cache", variant, t)
+
+
+def _shared_states(variant):
+    return (S.S, S.T) if variant.any_tearoff else (S.S,)
+
+
+# ----------------------------------------------------------------------
+def _load_rows(variant, sc_drop):
+    t = rows(_shared_states(variant) + (S.E,), E.LOAD,
+             actions=(A.READ_HIT,), result=HIT, doc="read hit on a valid copy")
+    t += [
+        T(S.SM_W, E.LOAD, actions=(A.READ_HIT,), result=HIT,
+          kind=NORMAL if variant.wc else DEFENSIVE,
+          doc="the S copy under an upgrade is still readable (SC stores "
+              "block, so no load can issue under an SC upgrade)"),
+        T(S.IS_D, E.LOAD, error="second read issued"),
+    ]
+    if variant.wc:
+        t += [
+            T(S.E_A, E.LOAD, guards=("frame_valid",), actions=(A.READ_HIT,),
+              result=HIT, doc="granted exclusive, directory acks still draining"),
+            T(S.E_A, E.LOAD, actions=(A.QUEUE_READ_WAITER,), result=WAIT,
+              kind=DEFENSIVE,
+              doc="an INV emptied the granted copy: wait like a read-wb"),
+        ]
+    t += rows((S.IM_D, S.SM_WI), E.LOAD, actions=(A.QUEUE_READ_WAITER,),
+              result=WAIT, kind=NORMAL if variant.wc else DEFENSIVE,
+              doc='"read wb": wait for the outstanding write\'s data (only '
+                  'WC stores are non-blocking, so only WC can load here)')
+    t += [
+        T(S.I, E.LOAD,
+          actions=(A.COUNT_READ_MISS,) + sc_drop + (A.ALLOC_MSHR_READ, A.SEND_GETS),
+          next_state=S.IS_D, result=WAIT, doc="read miss"),
+    ]
+    return t
+
+
+def _store_rows(variant, sc_drop):
+    # Blocking stores: every STORE under SC, only SYNC_STORE (lock words)
+    # under WC.
+    events = (E.SYNC_STORE,) if variant.wc else (E.STORE, E.SYNC_STORE)
+    t = rows(S.E, events, actions=(A.WRITE_HIT,), result=DONE,
+             doc="exclusive hit")
+    if variant.wc:
+        t += [
+            T(S.E_A, E.SYNC_STORE, guards=("frame_valid",), actions=(A.WRITE_HIT,),
+              result=DONE, doc="exclusive hit while the parallel grant drains"),
+        ]
+    transients = (S.IS_D, S.IM_D, S.SM_W, S.SM_WI) + ((S.E_A,) if variant.wc else ())
+    t += rows(transients, events, error="second blocking write issued")
+    t += [
+        T(S.S, ev,
+          actions=(A.COUNT_WRITE_MISS,) + sc_drop
+          + (A.PIN_ALLOC_MSHR_UPGRADE, A.SEND_UPGRADE),
+          next_state=S.SM_W, result=WAIT,
+          doc="upgrade the tracked shared copy")
+        for ev in events
+    ]
+    if variant.any_tearoff:
+        t += [
+            T(S.T, ev,
+              actions=(A.COUNT_WRITE_MISS,) + sc_drop
+              + (A.INVALIDATE_COPY, A.ALLOC_MSHR_WRITE, A.SEND_GETX),
+              next_state=S.IM_D, result=WAIT,
+              doc="a tear-off copy is invisible to the full map: full GETX")
+            for ev in events
+        ]
+    t += [
+        T(S.I, ev,
+          actions=(A.COUNT_WRITE_MISS,) + sc_drop
+          + (A.ALLOC_MSHR_WRITE, A.SEND_GETX),
+          next_state=S.IM_D, result=WAIT, doc="write miss")
+        for ev in events
+    ]
+    if not variant.wc:
+        return t
+    # Buffered (WC) stores.
+    t += [
+        T(S.E, E.STORE, actions=(A.WRITE_HIT,), result=DONE, doc="exclusive hit"),
+        T(S.E_A, E.STORE, guards=("frame_valid",), actions=(A.WRITE_HIT,),
+          result=DONE, doc="exclusive hit while the parallel grant drains"),
+        T(S.E_A, E.STORE, actions=(A.WB_MERGE,), result=DONE, kind=DEFENSIVE,
+          doc="an INV emptied the granted copy: coalesce into the entry"),
+    ]
+    t += rows((S.IM_D, S.SM_W, S.SM_WI), E.STORE, actions=(A.WB_MERGE,),
+              result=DONE, doc="coalesce into the outstanding write's entry")
+    t += [
+        T(S.IS_D, E.STORE, guards=("pending_write",), actions=(A.WB_MERGE_PENDING,),
+          result=DONE, kind=DEFENSIVE,
+          doc="coalesce into the pending write-after-read (the in-order "
+              "processor blocks on loads, so no store can issue here)"),
+        T(S.IS_D, E.STORE, guards=("wb_full",), actions=(A.WB_WAIT_SPACE,),
+          result=WAIT, kind=DEFENSIVE,
+          doc="write buffer full: retry when an entry retires"),
+        T(S.IS_D, E.STORE, actions=(A.WB_ALLOC_PENDING,), result=DONE,
+          kind=DEFENSIVE,
+          doc="buffer the write; upgrade after the read's fill"),
+    ]
+    t += rows((S.I,) + _shared_states(variant), E.STORE, guards=("wb_full",),
+              actions=(A.WB_WAIT_SPACE,), result=WAIT, kind=MULTIBLOCK,
+              doc="write buffer full: retry when an entry retires (needs "
+                  "enough distinct blocks in flight to exhaust the buffer)")
+    t += [
+        T(S.S, E.STORE,
+          actions=(A.COUNT_WRITE_MISS, A.WB_ALLOC, A.PIN_ALLOC_MSHR_UPGRADE,
+                   A.SEND_UPGRADE),
+          next_state=S.SM_W, result=DONE,
+          doc="buffered upgrade of the tracked shared copy"),
+    ]
+    if variant.any_tearoff:
+        t += [
+            T(S.T, E.STORE,
+              actions=(A.COUNT_WRITE_MISS, A.WB_ALLOC, A.INVALIDATE_COPY,
+                       A.ALLOC_MSHR_WRITE, A.SEND_GETX),
+              next_state=S.IM_D, result=DONE,
+              doc="tear-off copy: the buffered write goes out as a full GETX"),
+        ]
+    t += [
+        T(S.I, E.STORE,
+          actions=(A.COUNT_WRITE_MISS, A.WB_ALLOC, A.ALLOC_MSHR_WRITE,
+                   A.SEND_GETX),
+          next_state=S.IM_D, result=DONE, doc="buffered write miss"),
+    ]
+    return t
+
+
+def _data_rows(variant):
+    t = []
+    if variant.any_tearoff:
+        t += [T(S.IS_D, E.DATA, guards=("tearoff_grant",),
+                actions=(A.POP_CLOSE_MSHR, A.FILL_S), next_state=S.T,
+                doc="tear-off fill: untracked shared copy")]
+    t += [T(S.IS_D, E.DATA, actions=(A.POP_CLOSE_MSHR, A.FILL_S), next_state=S.S,
+            doc="read miss completes")]
+    t += rows((S.I,) + _shared_states(variant)
+              + (S.E, S.IM_D, S.SM_W, S.SM_WI, S.E_A), E.DATA,
+              error="DATA without a read MSHR")
+    return t
+
+
+def _data_ex_rows(variant):
+    t = []
+    if variant.migratory:
+        t += [T(S.IS_D, E.DATA_EX, actions=(A.POP_CLOSE_MSHR, A.FILL_E_CLEAN),
+                next_state=S.E,
+                doc="migratory grant: a read answered with a clean exclusive copy")]
+    else:
+        t += [T(S.IS_D, E.DATA_EX, error="DATA_EX for a read MSHR (migratory off)")]
+    t += [
+        T(S.SM_W, E.DATA_EX,
+          actions=(A.UNPIN, A.DROP_STALE_UPGRADE_COPY, A.RETRY_DEFERRED_FILLS,
+                   A.FILL_E_DIRTY),
+          next_state=S.E, kind=DEFENSIVE,
+          doc="directory answered an upgrade with data while the S copy survived"),
+    ]
+    if variant.wc:
+        t += [
+            T(S.SM_WI, E.DATA_EX, guards=("acks_pending_grant",),
+              actions=(A.UNPIN, A.RETRY_DEFERRED_FILLS, A.FILL_E_DIRTY),
+              next_state=S.E_A,
+              kind=DEFENSIVE if (variant.any_tearoff and
+                                 variant.identify is IdentifyScheme.STATES)
+              else NORMAL,
+              doc="upgrade raced with INV; parallel re-grant, acks "
+                  "outstanding (three-party race: a deferred reader must "
+                  "re-share the block tracked before the upgrade replays "
+                  "— under the additional-states scheme that re-grant is "
+                  "always a tear-off, so the replay lands at Idle instead)"),
+            T(S.IM_D, E.DATA_EX, guards=("acks_pending_grant",),
+              actions=(A.FILL_E_DIRTY,), next_state=S.E_A,
+              doc="WC parallel grant: exclusive now, ACK_DONE to follow"),
+        ]
+    t += [
+        T(S.SM_WI, E.DATA_EX,
+          actions=(A.UNPIN, A.RETRY_DEFERRED_FILLS, A.FILL_E_DIRTY),
+          next_state=S.E,
+          doc="upgrade raced with INV: the directory re-granted with data"),
+        T(S.IM_D, E.DATA_EX, actions=(A.FILL_E_DIRTY,), next_state=S.E,
+          doc="write miss completes"),
+    ]
+    t += rows((S.I,) + _shared_states(variant) + (S.E, S.E_A), E.DATA_EX,
+              error="DATA_EX without an MSHR")
+    return t
+
+
+def _upgrade_ack_rows(variant):
+    grant = (A.UNPIN, A.RETRY_DEFERRED_FILLS, A.PROMOTE_TO_EXCLUSIVE,
+             A.APPLY_MSHR_WRITE, A.MARK_SI_FROM_GRANT, A.WRITE_GRANTED)
+    t = []
+    if variant.wc:
+        t += [T(S.SM_W, E.UPGRADE_ACK, guards=("acks_pending_grant",),
+                actions=grant, next_state=S.E_A,
+                doc="WC parallel upgrade grant: exclusive now, ACK_DONE later")]
+    t += [
+        T(S.SM_W, E.UPGRADE_ACK, actions=grant, next_state=S.E,
+          doc="upgrade completes in place"),
+        T(S.SM_WI, E.UPGRADE_ACK,
+          error="UPGRADE_ACK after its copy was invalidated"),
+    ]
+    t += rows((S.I,) + _shared_states(variant) + (S.E, S.IS_D, S.IM_D, S.E_A),
+              E.UPGRADE_ACK, error="UPGRADE_ACK without an upgrade MSHR")
+    return t
+
+
+def _ack_done_rows(variant):
+    if not variant.wc:
+        return []
+    t = [T(S.E_A, E.ACK_DONE, actions=(A.WRITE_COMPLETE,), next_state=S.E,
+           doc="the directory forwarded the last invalidation ack")]
+    t += rows((S.I,) + _shared_states(variant)
+              + (S.E, S.IS_D, S.IM_D, S.SM_W, S.SM_WI), E.ACK_DONE,
+              error="ACK_DONE without a waiting MSHR")
+    return t
+
+
+def _write_after_read_rows(variant):
+    """A WC write buffered behind an in-flight read resumes after the fill.
+
+    All DEFENSIVE: the in-order processor blocks on loads, so no store can
+    land behind an in-flight read and the ``pending_write`` path never
+    arms.  The rows document how the controller would recover if a future
+    out-of-order core issued one.
+    """
+    if not variant.wc:
+        return []
+    t = [
+        T(S.E, E.WRITE_AFTER_READ,
+          actions=(A.APPLY_PENDING_WRITE, A.WB_RETIRE), next_state=S.E,
+          kind=DEFENSIVE,
+          doc="migratory grant filled exclusive: write in place"),
+        T(S.S, E.WRITE_AFTER_READ,
+          actions=(A.PIN_ALLOC_MSHR_UPGRADE, A.SEND_UPGRADE),
+          next_state=S.SM_W, kind=DEFENSIVE,
+          doc="upgrade the fresh tracked copy for the buffered write"),
+    ]
+    if variant.any_tearoff:
+        t += [T(S.T, E.WRITE_AFTER_READ,
+                actions=(A.INVALIDATE_COPY, A.ALLOC_MSHR_WRITE, A.SEND_GETX),
+                next_state=S.IM_D, kind=DEFENSIVE,
+                doc="tear-off fill is invisible to the map: fresh GETX")]
+    return t
+
+
+def _inv_rows(variant):
+    t = rows((S.I, S.IS_D, S.IM_D), E.INV,
+             actions=(A.REPLY_INV_ACK,),
+             doc="copy already gone: acknowledge so the directory can progress")
+    t += [
+        T(S.SM_WI, E.INV, actions=(A.REPLY_INV_ACK,), kind=DEFENSIVE,
+          doc="a second INV for the same upgrade cannot arrive: the "
+              "directory re-grants at most once per transaction"),
+    ]
+    t += [
+        T(S.S, E.INV, actions=(A.RECORD_INV, A.INVALIDATE_COPY, A.REPLY_INV_ACK),
+          next_state=S.I, doc="invalidate the tracked shared copy"),
+    ]
+    if variant.any_tearoff:
+        t += [T(S.T, E.INV, actions=(A.RECORD_INV, A.INVALIDATE_COPY,
+                                     A.REPLY_INV_ACK),
+                next_state=S.I, kind=DEFENSIVE,
+                doc="tear-off copies are untracked; an INV cannot target one")]
+    t += [
+        T(S.E, E.INV, guards=("dirty",),
+          actions=(A.RECORD_INV, A.INVALIDATE_COPY, A.REPLY_INV_ACK_DATA),
+          next_state=S.I, doc="owner invalidated: the dirty data rides the ack"),
+        T(S.E, E.INV,
+          actions=(A.RECORD_INV, A.INVALIDATE_COPY, A.REPLY_INV_ACK),
+          next_state=S.I,
+          kind=NORMAL if variant.migratory else DEFENSIVE,
+          doc="clean (migratory) owner: the directory still holds the data"),
+        T(S.SM_W, E.INV,
+          actions=(A.RECORD_INV, A.INVALIDATE_COPY, A.MARK_UPGRADE_INVALIDATED,
+                   A.REPLY_INV_ACK),
+          next_state=S.SM_WI,
+          doc="upgrade loses the race: the directory will answer with DATA_EX"),
+    ]
+    if variant.wc:
+        t += [
+            T(S.E_A, E.INV, guards=("frame_valid", "dirty"),
+              actions=(A.RECORD_INV, A.INVALIDATE_COPY, A.REPLY_INV_ACK_DATA),
+              next_state=S.E_A, kind=DEFENSIVE,
+              doc="per-pair FIFO delivers ACK_DONE before any later INV"),
+            T(S.E_A, E.INV, guards=("frame_valid",),
+              actions=(A.RECORD_INV, A.INVALIDATE_COPY, A.REPLY_INV_ACK),
+              next_state=S.E_A, kind=DEFENSIVE,
+              doc="per-pair FIFO delivers ACK_DONE before any later INV"),
+            T(S.E_A, E.INV, actions=(A.REPLY_INV_ACK,), next_state=S.E_A,
+              kind=DEFENSIVE,
+              doc="the granted copy already left again; acknowledge only"),
+        ]
+    return t
+
+
+def _si_rows(variant, bugs):
+    t = []
+    if variant.dsi:
+        if variant.any_tearoff:
+            t += [T(S.T, E.SI_SYNC, actions=(A.SI_SYNC_SILENT,), next_state=S.I,
+                    doc="tear-off copies die silently (flash clear)")]
+        t += [
+            T(S.S, E.SI_SYNC, actions=(A.SI_SYNC_NOTIFY,), next_state=S.I,
+              kind=DEFENSIVE if variant.any_tearoff else NORMAL,
+              doc="tracked marked shared copy: self-invalidate and notify "
+                  "the home (with tear-off, marked read fills land in T, "
+                  "so a marked S copy never forms)"),
+            T(S.E, E.SI_SYNC, actions=(A.SI_SYNC_NOTIFY,), next_state=S.I,
+              doc="marked exclusive copy: self-invalidate and notify the home"),
+        ]
+        if variant.fifo:
+            t += _si_overflow_rows(variant, bugs)
+    if variant.tearoff is TearoffMode.SC:
+        t += [
+            T(S.T, E.SC_DROP, actions=(A.SC_DROP_TEAROFF,), next_state=S.I,
+              doc="Scheurich's condition: drop the tear-off copy at the miss"),
+            T(S.I, E.SC_DROP, kind=DEFENSIVE,
+              doc="the remembered tear-off copy already left the cache"),
+        ]
+    return t
+
+
+def _si_overflow_rows(variant, bugs):
+    t = []
+    if variant.any_tearoff:
+        t += [T(S.T, E.SI_OVERFLOW, actions=(A.SI_EARLY_SILENT,), next_state=S.I,
+                doc="FIFO overflow victim: tear-off dies silently")]
+    t += [
+        T(S.S, E.SI_OVERFLOW, actions=(A.SI_EARLY_NOTIFY,), next_state=S.I,
+          doc="FIFO overflow victim: self-invalidate early, notify the home"),
+        T(S.E, E.SI_OVERFLOW, actions=(A.SI_EARLY_NOTIFY,), next_state=S.I,
+          kind=MULTIBLOCK,
+          doc="overflow victim in E: another block's marked fill pushed it out"),
+        T(S.I, E.SI_OVERFLOW, kind=DEFENSIVE,
+          doc="stale FIFO entry: the copy already left"),
+        T(S.IS_D, E.SI_OVERFLOW, kind=DEFENSIVE,
+          doc="stale FIFO entry: no valid copy to invalidate"),
+        T(S.SM_W, E.SI_OVERFLOW,
+          doc="the pinned upgrade copy is exempt from early invalidation"),
+        T(S.SM_WI, E.SI_OVERFLOW, kind=DEFENSIVE,
+          doc="stale FIFO entry: the upgrade's copy is already gone"),
+    ]
+    if bugs.fifo_overflow_ignores_mshr:
+        # Historical race (fixed in the FIFO-overflow PR): the overflow
+        # victim was invalidated even with a transaction in flight,
+        # yanking the DATA_EX fill that triggered the overflow via a
+        # stale FIFO entry for the same tag.
+        t += [T(S.IM_D, E.SI_OVERFLOW, actions=(A.SI_EARLY_NOTIFY,),
+                next_state=S.I,
+                doc="BUG: early-invalidate under an in-flight write miss")]
+        if variant.wc:
+            t += [T(S.E_A, E.SI_OVERFLOW, actions=(A.SI_EARLY_NOTIFY,),
+                    next_state=S.E_A,
+                    doc="BUG: early-invalidate under a pending parallel grant")]
+    else:
+        t += [
+            T(S.IM_D, E.SI_OVERFLOW,
+              doc="fix: keep the copy while its transaction is in flight; "
+                  "the s bit stays set, so it still dies at the next sync"),
+        ]
+        if variant.wc:
+            t += [T(S.E_A, E.SI_OVERFLOW, kind=DEFENSIVE,
+                    doc="fix: keep the granted copy until ACK_DONE lands")]
+    return t
+
+
+def _evict_rows(variant):
+    t = []
+    if variant.any_tearoff:
+        t += [T(S.T, E.EVICT, actions=(A.EVICT_COUNT,),
+                doc="untracked victim vanishes silently")]
+    t += [
+        T(S.S, E.EVICT, actions=(A.EVICT_COUNT, A.EVICT_REPL),
+          doc="clean shared victim: notify the home (REPL)"),
+        T(S.E, E.EVICT, guards=("dirty",), actions=(A.EVICT_COUNT, A.EVICT_WB),
+          doc="dirty victim: write back"),
+        T(S.E, E.EVICT, actions=(A.EVICT_COUNT, A.EVICT_REPL),
+          kind=NORMAL if variant.migratory else DEFENSIVE,
+          doc="clean (migratory) exclusive victim"),
+    ]
+    return t

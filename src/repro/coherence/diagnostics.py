@@ -1,0 +1,39 @@
+"""Shared deadlock diagnostics for the two coherence controllers.
+
+Both controllers answer the engine's "why are we stuck?" question the
+same way: dump every outstanding transaction with its *symbolic* protocol
+state (the table-driven :mod:`repro.coherence.events` names, not raw
+implementation fields), so a deadlock report reads like a row of the
+protocol specification.
+"""
+
+
+def cache_diagnostic(ctrl):
+    """Outstanding work at a cache controller, or None if quiescent."""
+    if ctrl.mshrs:
+        entries = ", ".join(
+            f"blk{block}:{ctrl.symbolic_state(block).value}"
+            for block in list(ctrl.mshrs)[:8]
+        )
+        return f"cache{ctrl.node}: outstanding MSHRs ({entries})"
+    if ctrl.write_buffer is not None and not ctrl.write_buffer.empty:
+        return f"cache{ctrl.node}: write buffer not drained"
+    return None
+
+
+def directory_diagnostic(ctrl):
+    """Outstanding work at a directory controller, or None if quiescent."""
+    busy = [(block, entry) for block, entry in ctrl.entries.items() if entry.busy]
+    if not busy:
+        return None
+    entries = ", ".join(
+        f"blk{block}:{ctrl.symbolic_state(block).value}"
+        + (
+            f"(pending={sorted(entry.txn.pending_inv)}"
+            f"{', waiting_wb' if entry.txn.waiting_wb else ''})"
+            if entry.txn is not None
+            else ""
+        )
+        for block, entry in busy[:8]
+    )
+    return f"dir{ctrl.node}: busy transactions ({entries})"

@@ -1,0 +1,432 @@
+"""Directory-side transition table, one per protocol variant.
+
+Row-for-row transcription of the hand-written directory controller's
+dispatch; see :mod:`repro.coherence.cache_table` for the conventions.
+
+The directory's transient states are projections of the transaction
+slot: ``B_WB`` (waiting for the owner's in-flight writeback), ``B_READ``
+/ ``B_WRITE`` (collecting invalidation acks), ``B_WCP`` (WC parallel
+grant issued, acks still draining).  ``LAST_ACK`` is an *internal* event
+fired by the ``PROCESS_ACK`` action when the pending set empties; its
+rows carry the deferred grant.
+
+Guard names (attributes of the dispatch context):
+
+``owner_is_requester``  the exclusive owner re-requests (late-WB race)
+``migratory_predicted`` migratory optimization armed for this block
+``tearoff_grant``       the classified response is a tear-off grant
+``no_other_sharers``    no sharer besides the requester
+``from_owner``          notification source is the recorded owner
+``from_pending``        source is in the transaction's pending-INV set
+``from_sharer``         notification source is a recorded sharer
+``carries_data``        the notification returns an exclusive copy
+``last_sharer``         removing the source empties the sharer map
+"""
+
+from repro.coherence.events import DirAction as A, DirEvent as E, DirState as S
+from repro.coherence.table import (
+    DEFENSIVE,
+    NORMAL,
+    Transition as T,
+    TransitionTable,
+    rows,
+)
+from repro.coherence.variants import NO_BUGS
+from repro.config import IdentifyScheme
+
+#: memoized tables, keyed (variant, bugs)
+_DIR_TABLES = {}
+
+#: the three request kinds (deferred while busy)
+REQUESTS = (E.GETS, E.GETX, E.UPGRADE)
+#: invalidation acknowledgments (pair 1:1 with INVs)
+ACKS = (E.INV_ACK, E.INV_ACK_DATA)
+#: unsolicited notifications (replacements and self-invalidations)
+NOTIFICATIONS = (E.WB, E.REPL, E.SI_NOTIFY)
+BUSY = (S.B_READ, S.B_WRITE, S.B_WCP, S.B_WB)
+STABLE = (S.IDLE, S.SHARED, S.EXCL)
+
+
+def dir_table(variant, bugs=NO_BUGS):
+    key = (variant, bugs)
+    table = _DIR_TABLES.get(key)
+    if table is None:
+        table = build_dir_table(variant, bugs)
+        _DIR_TABLES[key] = table
+    return table
+
+
+def _defer_kind(variant, state, ev):
+    if state is S.B_WB:
+        # B_WB is only entered through the owner-re-request race, which
+        # per-pair FIFO delivery makes unreachable (the WB arrives first).
+        return DEFENSIVE
+    if ev is E.UPGRADE:
+        # An UPGRADE needs a tracked sharer.  B_READ transactions start
+        # at Excl, where no sharers exist; under WC, shared-state writes
+        # go through B_WCP, so B_WRITE also only starts at Excl.
+        if state is S.B_READ or (state is S.B_WRITE and variant.wc):
+            return DEFENSIVE
+    return NORMAL
+
+
+def build_dir_table(variant, bugs=NO_BUGS):
+    t = []
+    t += [
+        T(state, ev, actions=(A.DEFER,), kind=_defer_kind(variant, state, ev),
+          doc="the block's transactions serialize: queue in arrival order")
+        for state in BUSY
+        for ev in REQUESTS
+    ]
+    t += _gets_rows(variant)
+    t += _write_rows(variant)
+    t += _ack_rows(variant)
+    t += _last_ack_rows(variant)
+    t += _notification_rows(variant, bugs)
+    if not variant.wc:
+        t = [row for row in t if row.state is not S.B_WCP]
+    return TransitionTable("directory", variant, t)
+
+
+def _shared_tearoff(variant):
+    """Only the version scheme can classify a *Shared* block for a
+    tear-off grant: under the additional-states scheme every marked
+    shared grant is itself a tear-off, so Shared_SI is never entered."""
+    return variant.any_tearoff and variant.identify is IdentifyScheme.VERSION
+
+
+# ----------------------------------------------------------------------
+def _gets_rows(variant):
+    t = []
+    if variant.migratory:
+        if _shared_tearoff(variant):
+            t += [T(S.SHARED, E.GETS,
+                    guards=("migratory_predicted", "tearoff_grant"),
+                    actions=(A.CLEAR_MIGRATORY, A.GRANT_READ_TEAROFF),
+                    next_state=S.SHARED, kind=DEFENSIVE,
+                    doc="migration broke; the stale-versioned reader gets "
+                        "a tear-off copy")]
+        t += [
+            T(S.SHARED, E.GETS, guards=("migratory_predicted",),
+              actions=(A.CLEAR_MIGRATORY, A.GRANT_READ_TRACKED),
+              next_state=S.SHARED, kind=DEFENSIVE,
+              doc="multiple readers: the migration pattern broke (every "
+                  "path into Shared already clears the prediction, so "
+                  "this belt-and-braces clear never fires)"),
+            T(S.EXCL, E.GETS, guards=("migratory_predicted", "owner_is_requester"),
+              actions=(A.BEGIN_MIGRATORY_TXN, A.AWAIT_WB), next_state=S.B_WB,
+              kind=DEFENSIVE,
+              doc="migratory read, owner's WB in flight: wait for it "
+                  "(per-pair FIFO delivers the WB before the re-request)"),
+            T(S.EXCL, E.GETS, guards=("migratory_predicted",),
+              actions=(A.BEGIN_MIGRATORY_TXN, A.INV_OWNER), next_state=S.B_WRITE,
+              doc="migratory read: reclaim the owner's copy, then grant "
+                  "exclusive (saving the upgrade to follow)"),
+            T(S.IDLE, E.GETS, guards=("migratory_predicted",),
+              actions=(A.GRANT_WRITE,), next_state=S.EXCL,
+              doc="migratory read of an idle block: grant exclusive directly"),
+        ]
+    t += [
+        T(S.EXCL, E.GETS, guards=("owner_is_requester",),
+          actions=(A.BEGIN_READ_TXN, A.AWAIT_WB), next_state=S.B_WB,
+          kind=DEFENSIVE,
+          doc="late-writeback race: the owner's WB is in flight (per-pair "
+              "FIFO delivers the WB before the re-request)"),
+        T(S.EXCL, E.GETS, actions=(A.BEGIN_READ_TXN, A.INV_OWNER),
+          next_state=S.B_READ,
+          doc="invalidate the owner; the data must come from it"),
+    ]
+    if _shared_tearoff(variant):
+        t += [T(S.SHARED, E.GETS, guards=("tearoff_grant",),
+                actions=(A.GRANT_READ_TEAROFF,), next_state=S.SHARED,
+                doc="stale-versioned reader: tear-off grant, not recorded")]
+    if variant.any_tearoff:
+        t += [T(S.IDLE, E.GETS, guards=("tearoff_grant",),
+                actions=(A.GRANT_READ_TEAROFF,), next_state=S.IDLE,
+                doc="tear-off grant of an idle block: stays idle")]
+    t += [
+        T(S.SHARED, E.GETS, actions=(A.GRANT_READ_TRACKED,), next_state=S.SHARED,
+          doc="add the requester to the full map"),
+        T(S.IDLE, E.GETS, actions=(A.GRANT_READ_TRACKED,), next_state=S.SHARED,
+          doc="first reader"),
+    ]
+    return t
+
+
+def _write_rows(variant):
+    t = []
+    if variant.wc:
+        # Parallel grant: respond now, forward one ACK_DONE later.
+        shared_actions = (A.BEGIN_WRITE_TXN_SHARED, A.GRANT_WRITE_PARALLEL,
+                          A.INV_SHARERS)
+        next_shared = S.B_WCP
+        shared_doc = "invalidate every other sharer, granting in parallel"
+    else:
+        shared_actions = (A.BEGIN_WRITE_TXN_SHARED, A.INV_SHARERS)
+        next_shared = S.B_WRITE
+        shared_doc = "invalidate every other sharer, grant after the last ack"
+    for ev in (E.GETX, E.UPGRADE):
+        t += [
+            T(S.EXCL, ev, guards=("owner_is_requester",),
+              actions=(A.BEGIN_WRITE_TXN, A.AWAIT_WB), next_state=S.B_WB,
+              kind=DEFENSIVE,
+              doc="late-writeback race: the owner's WB is in flight "
+                  "(per-pair FIFO delivers the WB before the re-request)"),
+            T(S.EXCL, ev, actions=(A.BEGIN_WRITE_TXN, A.INV_OWNER),
+              next_state=S.B_WRITE,
+              doc="invalidate the owner first (its data is needed)"),
+        ]
+        if ev is E.UPGRADE and variant.migratory:
+            t += [T(S.SHARED, ev, guards=("no_other_sharers",),
+                    actions=(A.DETECT_MIGRATORY, A.GRANT_WRITE),
+                    next_state=S.EXCL,
+                    doc="sole-sharer upgrade (the Cox-Fowler detection point)")]
+        else:
+            t += [T(S.SHARED, ev, guards=("no_other_sharers",),
+                    actions=(A.GRANT_WRITE,), next_state=S.EXCL,
+                    kind=DEFENSIVE if ev is E.GETX else NORMAL,
+                    doc="the requester holds the only tracked copy"
+                    if ev is E.UPGRADE else
+                    "the requester holds the only tracked copy (a tracked "
+                    "sharer writes via UPGRADE, and its own REPL would "
+                    "arrive first on the FIFO lane, emptying the map)")]
+        t += [
+            T(S.SHARED, ev, actions=shared_actions, next_state=next_shared,
+              doc=shared_doc),
+            T(S.IDLE, ev, actions=(A.GRANT_WRITE,), next_state=S.EXCL,
+              kind=NORMAL if (
+                  ev is E.GETX
+                  or (variant.wc and variant.any_tearoff
+                      and variant.identify is IdentifyScheme.STATES)
+              ) else DEFENSIVE,
+              doc="no copies: grant immediately" if ev is E.GETX else
+                  "no copies: grant immediately (an invalidated upgrader's "
+                  "deferred request can replay at Idle when the additional-"
+                  "states scheme re-grants the block as a tear-off; "
+                  "otherwise an upgrader is tracked, and losing the copy "
+                  "first turns the retry into GETX)"),
+        ]
+    return t
+
+
+def _ack_rows(variant):
+    t = rows(STABLE, ACKS,
+             error="acknowledgment with no transaction in flight")
+    t += rows(S.B_WB, ACKS, error="unexpected acknowledgment")
+    collecting = (S.B_READ, S.B_WRITE, S.B_WCP)
+    for state in collecting:
+        for ev in ACKS:
+            # B_WCP collects from clean sharers only, so a data-carrying
+            # ack can never reach it.
+            kind = DEFENSIVE if (state is S.B_WCP and ev is E.INV_ACK_DATA) \
+                else NORMAL
+            t += [T(state, ev, guards=("from_pending",),
+                    actions=(A.PROCESS_ACK,), next_state=state, kind=kind,
+                    doc="one INV accounted for; fires LAST_ACK when the "
+                        "pending set empties")]
+    t += rows(collecting, ACKS, error="unexpected acknowledgment")
+    return t
+
+
+def _last_ack_rows(variant):
+    t = []
+    if variant.any_tearoff:
+        t += [T(S.B_READ, E.LAST_ACK, guards=("tearoff_grant",),
+                actions=(A.FINISH_TXN, A.GRANT_READ_TEAROFF, A.DRAIN_DEFERRED),
+                next_state=S.IDLE,
+                doc="owner reclaimed; the only copy handed out is untracked "
+                    "(Idle_X keeps marking subsequent requests)")]
+    t += [
+        T(S.B_READ, E.LAST_ACK,
+          actions=(A.FINISH_TXN, A.GRANT_READ_TRACKED, A.DRAIN_DEFERRED),
+          next_state=S.SHARED,
+          kind=DEFENSIVE if (variant.any_tearoff
+                             and variant.identify is IdentifyScheme.STATES)
+          else NORMAL,
+          doc="owner reclaimed: grant the deferred read (under the "
+              "additional-states scheme a post-reclaim read of a "
+              "just-written block always classifies as a tear-off)"),
+        T(S.B_WRITE, E.LAST_ACK,
+          actions=(A.FINISH_TXN, A.GRANT_WRITE, A.DRAIN_DEFERRED),
+          next_state=S.EXCL,
+          doc="all copies reclaimed: grant the deferred write"),
+    ]
+    if variant.wc:
+        t += [T(S.B_WCP, E.LAST_ACK,
+                actions=(A.FINISH_TXN, A.SEND_ACK_DONE, A.DRAIN_DEFERRED),
+                next_state=S.EXCL,
+                doc="parallel grant already out: forward the single ACK_DONE")]
+    return t
+
+
+def _notifications(variant):
+    """The notification kinds this variant can emit (REPL and WB always;
+    SI_NOTIFY only when some identification scheme marks blocks)."""
+    return NOTIFICATIONS if variant.dsi else (E.WB, E.REPL)
+
+
+def _crossing_kind(variant, state, ev):
+    """Kind of the unguarded "apply and keep collecting" row.
+
+    Each combination needs a node that can still emit that notification
+    while the transaction collects acks: a REPL crossing an INV needs a
+    clean exclusive owner (migratory) or an SC shared-state write
+    transaction; an SI_NOTIFY needs a *marked tracked* copy, which the
+    tear-off variants only form transiently via stale FIFO entries.
+    """
+    if ev is E.REPL:
+        if state is S.B_READ:
+            return NORMAL if variant.migratory else DEFENSIVE
+        if state is S.B_WRITE:
+            return NORMAL if (not variant.wc or variant.migratory) \
+                else DEFENSIVE
+    if state is S.B_WCP:
+        if ev is E.WB:
+            # B_WCP's only exclusive copy is the fresh grantee, whose
+            # frame stays pinned until ACK_DONE: no WB can cross.
+            return DEFENSIVE
+        if ev is E.SI_NOTIFY and variant.any_tearoff and not variant.fifo:
+            return DEFENSIVE
+    return NORMAL
+
+
+def _notification_rows(variant, bugs):
+    kinds = _notifications(variant)
+    t = [
+        # Late-writeback wait: the owner's own notification restarts the
+        # waiting request (next state decided by the replay).  B_WB is
+        # DEFENSIVE throughout: entering it needs an owner re-request to
+        # overtake its own writeback, which per-pair FIFO rules out.
+        T(S.B_WB, ev, guards=("from_owner",),
+          actions=(A.APPLY_NOTIFICATION, A.RESTART_WAITING_REQUEST),
+          kind=DEFENSIVE,
+          doc="the awaited writeback arrived: replay the waiting request")
+        for ev in kinds
+    ]
+    t += rows(S.B_WB, kinds, actions=(A.APPLY_NOTIFICATION,),
+              next_state=S.B_WB, kind=DEFENSIVE,
+              doc="stale notification while waiting for the owner's WB")
+    collecting = (S.B_READ, S.B_WRITE, S.B_WCP)
+    if bugs.notification_consumed_as_ack:
+        # Historical race (fixed in the seed): a crossing notification from
+        # a node the transaction is waiting on was consumed as an
+        # acknowledgment substitute — letting the *real* INV_ACK, still in
+        # flight, alias into the block's next transaction.
+        t += [
+            T(state, ev, guards=("from_pending",),
+              actions=(A.APPLY_NOTIFICATION, A.NOTIFICATION_AS_ACK),
+              next_state=state,
+              doc="BUG: crossing notification consumed as an ack substitute")
+            for state in collecting
+            for ev in kinds
+        ]
+    # Crossing notifications while collecting acks are *applied* but never
+    # consumed as acknowledgment substitutes: acks pair 1:1 with INVs.
+    t += [
+        T(state, ev, actions=(A.APPLY_NOTIFICATION,), next_state=state,
+          kind=_crossing_kind(variant, state, ev),
+          doc="racing notification: apply it, keep waiting for the real acks")
+        for state in collecting
+        for ev in kinds
+    ]
+    # Stable-state rows, specialized per notification kind (a WB always
+    # carries data, a REPL never does).  These are also the targets of
+    # APPLY_NOTIFICATION's nested dispatch on the underlying entry state.
+    t += _wb_rows(variant)
+    if variant.dsi:
+        t += _si_notify_rows(variant)
+    t += _repl_rows(variant)
+    return t
+
+
+def _wb_rows(variant):
+    # The stale rows are DEFENSIVE: a WB only leaves an owner in E, the
+    # directory stays EXCL for that owner until the WB (or an INV's ack)
+    # lands, and per-pair FIFO cannot reorder it past a later request
+    # from the same node.
+    return [
+        T(S.EXCL, E.WB, guards=("from_owner",),
+          actions=(A.ACCEPT_OWNER_DATA,), next_state=S.IDLE,
+          doc="the owner's exclusive copy returns with data"),
+        T(S.EXCL, E.WB, actions=(A.COUNT_STALE,), next_state=S.EXCL,
+          kind=DEFENSIVE, doc="writeback from a previous ownership era"),
+        T(S.SHARED, E.WB, actions=(A.COUNT_STALE,), next_state=S.SHARED,
+          kind=DEFENSIVE, doc="writeback from a previous ownership era"),
+        T(S.IDLE, E.WB, actions=(A.COUNT_STALE,), next_state=S.IDLE,
+          kind=DEFENSIVE, doc="writeback from a previous ownership era"),
+    ]
+
+
+def _si_notify_rows(variant):
+    # A sync flush only notifies for *marked tracked* copies.  With
+    # tear-off enabled, marked read fills land in T (untracked, silent),
+    # so a marked tracked S copy only forms when a stale FIFO entry
+    # outlives a refill — which needs the FIFO mechanism at all.
+    sharer_kind = DEFENSIVE if (variant.any_tearoff and not variant.fifo) \
+        else NORMAL
+    # A stale SI_NOTIFY hitting Excl is reachable only through WC's
+    # parallel grants: the entry turns Excl while the write transaction
+    # still collects acks, so a sharer's crossing sync notification
+    # dispatches here through APPLY_NOTIFICATION.
+    excl_stale_kind = NORMAL if (variant.wc and (variant.fifo
+                                                 or not variant.any_tearoff)) \
+        else DEFENSIVE
+    t = [
+        T(S.EXCL, E.SI_NOTIFY, guards=("carries_data", "from_owner"),
+          actions=(A.ACCEPT_OWNER_DATA,), next_state=S.IDLE,
+          doc="the owner self-invalidated a dirty copy (enters Idle_X)"),
+        T(S.EXCL, E.SI_NOTIFY, guards=("carries_data",),
+          actions=(A.COUNT_STALE,), next_state=S.EXCL, kind=DEFENSIVE,
+          doc="dirty self-invalidation from a previous ownership era"),
+        T(S.EXCL, E.SI_NOTIFY, guards=("from_owner",),
+          actions=(A.DROP_CLEAN_OWNER,), next_state=S.IDLE,
+          kind=NORMAL if variant.migratory else DEFENSIVE,
+          doc="the owner self-invalidated a clean (migratory) copy"),
+        T(S.EXCL, E.SI_NOTIFY, actions=(A.COUNT_STALE,), next_state=S.EXCL,
+          kind=excl_stale_kind,
+          doc="clean self-invalidation from a node that lost its copy"),
+        T(S.SHARED, E.SI_NOTIFY, guards=("carries_data",),
+          actions=(A.COUNT_STALE,), next_state=S.SHARED, kind=DEFENSIVE,
+          doc="dirty self-invalidation from a previous ownership era"),
+        T(S.SHARED, E.SI_NOTIFY, guards=("from_sharer", "last_sharer"),
+          actions=(A.REMOVE_LAST_SHARER,), next_state=S.IDLE,
+          kind=sharer_kind,
+          doc="the last tracked copy self-invalidates (enters Idle_S)"),
+        T(S.SHARED, E.SI_NOTIFY, guards=("from_sharer",),
+          actions=(A.REMOVE_SHARER,), next_state=S.SHARED,
+          kind=sharer_kind,
+          doc="a tracked copy self-invalidates"),
+        T(S.SHARED, E.SI_NOTIFY, actions=(A.COUNT_STALE,), next_state=S.SHARED,
+          kind=DEFENSIVE,
+          doc="self-invalidation from a node no longer in the map"),
+        T(S.IDLE, E.SI_NOTIFY, actions=(A.COUNT_STALE,), next_state=S.IDLE,
+          kind=DEFENSIVE,
+          doc="self-invalidation for an idle block"),
+    ]
+    return t
+
+
+def _repl_rows(variant):
+    return [
+        T(S.EXCL, E.REPL, guards=("from_owner",),
+          actions=(A.DROP_CLEAN_OWNER,), next_state=S.IDLE,
+          kind=NORMAL if variant.migratory else DEFENSIVE,
+          doc="the owner evicted a clean (migratory) copy"),
+        T(S.EXCL, E.REPL, actions=(A.COUNT_STALE,), next_state=S.EXCL,
+          kind=NORMAL if variant.wc else DEFENSIVE,
+          doc="replacement notice from a node that lost its copy (under "
+              "WC a sharer's eviction can cross the parallel grant's INV "
+              "and dispatch here once the entry is already Excl)"),
+        T(S.SHARED, E.REPL, guards=("from_sharer", "last_sharer"),
+          actions=(A.REMOVE_LAST_SHARER,), next_state=S.IDLE,
+          doc="the last tracked copy is evicted"),
+        T(S.SHARED, E.REPL, guards=("from_sharer",),
+          actions=(A.REMOVE_SHARER,), next_state=S.SHARED,
+          doc="a tracked copy is evicted"),
+        T(S.SHARED, E.REPL, actions=(A.COUNT_STALE,), next_state=S.SHARED,
+          kind=DEFENSIVE,
+          doc="replacement notice from a node no longer in the map"),
+        T(S.IDLE, E.REPL, actions=(A.COUNT_STALE,), next_state=S.IDLE,
+          kind=DEFENSIVE,
+          doc="replacement notice for an idle block"),
+    ]

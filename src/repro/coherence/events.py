@@ -1,0 +1,179 @@
+"""Typed states, events and actions of the coherence protocol.
+
+The cache- and directory-side controllers are driven by declarative
+transition tables (:mod:`repro.coherence.cache_table`,
+:mod:`repro.coherence.dir_table`) built over the enums defined here.  The
+enums are deliberately *symbolic*: a value names a protocol concept, not
+an implementation detail, so the same tables drive the production
+controllers, the documentation generator and the exhaustive state-space
+checker (:mod:`repro.coherence.explore`).
+
+Cache-side states follow the SLICC convention of naming transient states
+after the transition they sit on (``IS_D`` = Invalid, going to Shared,
+waiting for Data).  Stable states are derived from the frame; transient
+states from the MSHR:
+
+========  ==========================================================
+``I``     no valid copy, no outstanding transaction
+``S``     tracked shared copy
+``T``     tear-off shared copy (untracked; self-invalidates at sync)
+``E``     exclusive copy (the paper's writable/dirty "M")
+``IS_D``  read miss outstanding (GETS sent, waiting for DATA)
+``IM_D``  write miss outstanding (GETX sent, waiting for DATA_EX)
+``SM_W``  upgrade outstanding, the S copy still valid (and pinned)
+``SM_WI`` upgrade outstanding, the S copy invalidated underneath it
+``E_A``   exclusive granted, waiting for the directory's ACK_DONE
+          (weak consistency's parallel-invalidation grant)
+========  ==========================================================
+
+Directory-side states mirror the paper's Figure 1 plus busy transients:
+
+=========  =========================================================
+``IDLE``    no copies (flavors Idle/Idle_X/Idle_S/Idle_SI live in the
+            entry's ``idle_flavor`` field; they matter only to the
+            additional-states identification policy)
+``SHARED``  tracked shared copies (``shared_si`` refines to Shared_SI)
+``EXCL``    one exclusive owner
+``B_READ``  busy: invalidating the owner to serve a read
+``B_WRITE`` busy: collecting invalidation acks to serve a write
+``B_WCP``   busy: WC parallel grant issued, still collecting acks
+``B_WB``    busy: waiting for the owner's in-flight writeback
+=========  =========================================================
+"""
+
+import enum
+
+
+class CacheState(enum.Enum):
+    I = "I"
+    S = "S"
+    T = "T"
+    E = "E"
+    IS_D = "IS_D"
+    IM_D = "IM_D"
+    SM_W = "SM_W"
+    SM_WI = "SM_WI"
+    E_A = "E_A"
+
+
+class CacheEvent(enum.Enum):
+    # Processor-initiated
+    LOAD = "Load"
+    STORE = "Store"
+    SYNC_STORE = "SyncStore"
+    # Network responses / forwarded requests
+    DATA = "Data"
+    DATA_EX = "DataEx"
+    UPGRADE_ACK = "UpgradeAck"
+    ACK_DONE = "AckDone"
+    INV = "Inv"
+    # Internal events
+    WRITE_AFTER_READ = "WriteAfterRead"  # pending WC write resumes after a fill
+    SI_SYNC = "SiSync"  # synchronization-point self-invalidation, per frame
+    SI_OVERFLOW = "SiOverflow"  # FIFO overflow picked this frame as victim
+    SC_DROP = "ScDrop"  # Scheurich drop of the single SC tear-off copy
+    EVICT = "Evict"  # capacity replacement of this victim
+
+
+class CacheAction(enum.Enum):
+    READ_HIT = "read_hit"
+    QUEUE_READ_WAITER = "queue_read_waiter"
+    COUNT_READ_MISS = "count_read_miss"
+    COUNT_WRITE_MISS = "count_write_miss"
+    DROP_SC_TEAROFF = "drop_sc_tearoff"
+    ALLOC_MSHR_READ = "alloc_mshr_read"
+    ALLOC_MSHR_WRITE = "alloc_mshr_write"
+    PIN_ALLOC_MSHR_UPGRADE = "pin_alloc_mshr_upgrade"
+    SEND_GETS = "send_gets"
+    SEND_GETX = "send_getx"
+    SEND_UPGRADE = "send_upgrade"
+    WRITE_HIT = "write_hit"
+    WB_MERGE = "wb_merge"
+    WB_MERGE_PENDING = "wb_merge_pending"
+    WB_WAIT_SPACE = "wb_wait_space"
+    WB_ALLOC = "wb_alloc"
+    WB_ALLOC_PENDING = "wb_alloc_pending"
+    INVALIDATE_COPY = "invalidate_copy"
+    POP_CLOSE_MSHR = "pop_close_mshr"
+    FILL_S = "fill_s"
+    FILL_E_CLEAN = "fill_e_clean"
+    FILL_E_DIRTY = "fill_e_dirty"
+    APPLY_PENDING_WRITE = "apply_pending_write"
+    WB_RETIRE = "wb_retire"
+    UNPIN = "unpin"
+    DROP_STALE_UPGRADE_COPY = "drop_stale_upgrade_copy"
+    RETRY_DEFERRED_FILLS = "retry_deferred_fills"
+    PROMOTE_TO_EXCLUSIVE = "promote_to_exclusive"
+    APPLY_MSHR_WRITE = "apply_mshr_write"
+    MARK_SI_FROM_GRANT = "mark_si_from_grant"
+    WRITE_GRANTED = "write_granted"
+    WRITE_COMPLETE = "write_complete"
+    RECORD_INV = "record_inv"
+    MARK_UPGRADE_INVALIDATED = "mark_upgrade_invalidated"
+    REPLY_INV_ACK = "reply_inv_ack"
+    REPLY_INV_ACK_DATA = "reply_inv_ack_data"
+    SI_SYNC_SILENT = "si_sync_silent"
+    SI_SYNC_NOTIFY = "si_sync_notify"
+    SI_EARLY_SILENT = "si_early_silent"
+    SI_EARLY_NOTIFY = "si_early_notify"
+    SC_DROP_TEAROFF = "sc_drop_tearoff"
+    EVICT_COUNT = "evict_count"
+    EVICT_WB = "evict_wb"
+    EVICT_REPL = "evict_repl"
+
+
+class DirState(enum.Enum):
+    IDLE = "Idle"
+    SHARED = "Shared"
+    EXCL = "Exclusive"
+    B_READ = "B_Read"
+    B_WRITE = "B_Write"
+    B_WCP = "B_WCPar"
+    B_WB = "B_WaitWB"
+
+
+class DirEvent(enum.Enum):
+    GETS = "GetS"
+    GETX = "GetX"
+    UPGRADE = "Upgrade"
+    INV_ACK = "InvAck"
+    INV_ACK_DATA = "InvAckData"
+    WB = "WB"
+    REPL = "Repl"
+    SI_NOTIFY = "SiNotify"
+    LAST_ACK = "LastAck"  # internal: the final pending acknowledgment arrived
+
+
+class DirAction(enum.Enum):
+    DEFER = "defer"
+    CLEAR_MIGRATORY = "clear_migratory"
+    DETECT_MIGRATORY = "detect_migratory"
+    BEGIN_READ_TXN = "begin_read_txn"
+    BEGIN_WRITE_TXN = "begin_write_txn"
+    BEGIN_MIGRATORY_TXN = "begin_migratory_txn"
+    BEGIN_WRITE_TXN_SHARED = "begin_write_txn_shared"
+    AWAIT_WB = "await_wb"
+    INV_OWNER = "inv_owner"
+    INV_SHARERS = "inv_sharers"
+    GRANT_READ_TEAROFF = "grant_read_tearoff"
+    GRANT_READ_TRACKED = "grant_read_tracked"
+    GRANT_WRITE = "grant_write"
+    GRANT_WRITE_PARALLEL = "grant_write_parallel"
+    PROCESS_ACK = "process_ack"
+    NOTIFICATION_AS_ACK = "notification_as_ack"  # historical bug, model only
+    APPLY_NOTIFICATION = "apply_notification"
+    RESTART_WAITING_REQUEST = "restart_waiting_request"
+    ACCEPT_OWNER_DATA = "accept_owner_data"
+    DROP_CLEAN_OWNER = "drop_clean_owner"
+    REMOVE_SHARER = "remove_sharer"
+    REMOVE_LAST_SHARER = "remove_last_sharer"
+    COUNT_STALE = "count_stale"
+    FINISH_TXN = "finish_txn"
+    SEND_ACK_DONE = "send_ack_done"
+    DRAIN_DEFERRED = "drain_deferred"
+
+
+#: Result values handed back to the processor (mirrors protocol.controller).
+HIT = "hit"
+DONE = "done"
+WAIT = "wait"

@@ -1,0 +1,976 @@
+"""Exhaustive reachable-state-space checker for the coherence tables.
+
+The checker interprets the *same* transition tables the production
+controllers execute (:mod:`repro.coherence.cache_table`,
+:mod:`repro.coherence.dir_table`) against a small abstract machine —
+2–3 cache nodes, one block, one directory — and enumerates every
+reachable configuration by breadth-first search.  Nondeterminism covers
+everything the full simulator schedules by time:
+
+* which node issues the next processor operation (LOAD / STORE /
+  SYNC_STORE, up to ``ops`` per node);
+* which network lane delivers its head message (lanes are per-(src, dst)
+  FIFOs, exactly like the production network — no reordering within a
+  pair, arbitrary interleaving across pairs);
+* spontaneous capacity evictions (pressure from other blocks,
+  abstracted), synchronization-point self-invalidation flushes, and SI
+  FIFO overflows (another block's marked fill overflowing the FIFO,
+  abstracted as a move enabled while a FIFO entry exists);
+* the identification decision itself: the version / cache-history
+  schemes depend on per-node state the one-block model abstracts away,
+  so their ``si`` classification is explored *both* ways (a request
+  carries a nondeterministic hint); the additional-states scheme is
+  computed exactly from the modelled entry.
+
+Invariants checked in every reachable state:
+
+* **single-writer** — at most one exclusive copy; a settled exclusive
+  copy (not awaiting ACK_DONE) excludes every tracked copy elsewhere
+  (tear-off copies are exempt: they are invisible to the full map).
+* **data-value** — the latest written value is never lost: it is held by
+  the directory, a cache frame, or a data-carrying message in flight.
+* **no-stuck-transaction** — every terminal state (no enabled moves) is
+  quiescent: no open MSHR, no busy directory transaction, no deferred
+  request, no message in flight.
+* **error rows** — reaching a table row declared ``error`` (or finding
+  no row at all) is a violation, with the move trace as counterexample.
+
+Coverage: every row the tables declare ``NORMAL`` must fire in some run
+(aggregated over the explored configurations); rows declared
+``MULTIBLOCK`` (need several distinct blocks), ``DEFENSIVE`` (orderings
+the per-pair FIFO network cannot produce) and ``ERROR`` are exempt.
+
+The two historical races are re-detectable: building the tables with the
+corresponding :class:`~repro.coherence.variants.Bugs` knob set makes the
+checker find a violation (see ``tests/test_coherence_explore.py``).  The
+``fifo_overflow_ignores_mshr`` bug row for ``IM_D`` is modelled as the
+historical symptom — the stale FIFO entry invalidated the frame the
+in-flight fill was about to land in, so the fill is lost and the miss
+never completes (a stuck transaction).
+"""
+
+from collections import deque, namedtuple
+
+from repro.coherence.cache_table import cache_table
+from repro.coherence.dir_table import dir_table
+from repro.coherence.events import (
+    CacheEvent as CE,
+    CacheState as CS,
+    DirEvent as DE,
+    DirState as DS,
+)
+from repro.coherence.table import NORMAL, CoverageTracker
+from repro.coherence.variants import NO_BUGS, TearoffMode
+from repro.config import IdentifyScheme
+from repro.errors import ProtocolError
+
+#: the directory's network endpoint (nodes are 0..n-1)
+DIR = -1
+
+Msg = namedtuple(
+    "Msg",
+    ("kind", "src", "dst", "si", "tearoff", "acks_pending", "carries_data",
+     "data", "si_marked", "si_hint"),
+)
+Msg.__new__.__defaults__ = (False, False, False, False, 0, False, False)
+
+_CACHE_EVENTS = {
+    "DATA": CE.DATA,
+    "DATA_EX": CE.DATA_EX,
+    "UPGRADE_ACK": CE.UPGRADE_ACK,
+    "ACK_DONE": CE.ACK_DONE,
+    "INV": CE.INV,
+}
+_DIR_EVENTS = {
+    "GETS": DE.GETS,
+    "GETX": DE.GETX,
+    "UPGRADE": DE.UPGRADE,
+    "INV_ACK": DE.INV_ACK,
+    "INV_ACK_DATA": DE.INV_ACK_DATA,
+    "WB": DE.WB,
+    "REPL": DE.REPL,
+    "SI_NOTIFY": DE.SI_NOTIFY,
+}
+_DATA_CARRIERS = ("DATA", "DATA_EX", "INV_ACK_DATA", "WB", "SI_NOTIFY")
+
+#: immutable per-node cache state: frame, mshr, FIFO entry, SC tear-off memory
+Frame = namedtuple("Frame", ("st", "dirty", "si", "data"))  # st: 'S'|'T'|'E'
+Mshr = namedtuple("Mshr", ("kind", "invalidated", "acks_pending",
+                           "pending_write", "poisoned"))
+CacheN = namedtuple("CacheN", ("frame", "mshr", "fifo", "screm"))
+Txn = namedtuple("Txn", ("kind", "src", "req", "pending", "waiting_wb",
+                         "wc_parallel", "upgrade_grant", "si", "migratory_read"))
+DirE = namedtuple("DirE", ("state", "owner", "sharers", "shared_si", "flavor",
+                           "migratory", "last_writer", "data", "txn", "deferred"))
+
+_EMPTY_CACHE = CacheN(None, None, False, False)
+_INIT_DIR = DirE("I", None, frozenset(), False, "plain", False, None, 0, None, ())
+
+
+class Violation(Exception):
+    """An invariant or error row fired during exploration."""
+
+
+class _W:
+    """Mutable working copy of one model state."""
+
+    __slots__ = ("caches", "dir", "lanes", "seq", "ops")
+
+    def __init__(self, state, nodes):
+        caches, entry, lanes, seq, ops = state
+        self.caches = list(caches)  # per-node tuples are replaced wholesale
+        self.dir = entry
+        self.lanes = {key: list(msgs) for key, msgs in lanes}
+        self.seq = seq
+        self.ops = list(ops)
+
+    def freeze(self):
+        lanes = tuple(sorted(
+            (key, tuple(msgs)) for key, msgs in self.lanes.items() if msgs
+        ))
+        return (tuple(self.caches), self.dir, lanes, self.seq, tuple(self.ops))
+
+    def send(self, msg):
+        self.lanes.setdefault((msg.src, msg.dst), []).append(msg)
+
+
+class _CacheCtx:
+    """Plain-attribute guard context for one cache dispatch."""
+
+    def __init__(self, w, node, msg=None, victim=None, fill_si=False):
+        frame = w.caches[node].frame
+        mshr = w.caches[node].mshr
+        self.msg = msg
+        self.victim = victim
+        self.fill_si = fill_si
+        self.frame_valid = frame is not None
+        self.dirty = victim.dirty if victim is not None else bool(
+            frame is not None and frame.dirty
+        )
+        self.pending_write = mshr is not None and mshr.pending_write
+        self.wb_full = False  # needs >1 block to fill (coalescing buffer)
+        self.tearoff_grant = bool(msg is not None and msg.tearoff)
+        self.acks_pending_grant = bool(msg is not None and msg.acks_pending)
+        self.inv_data = 0
+
+
+class _DirCtx:
+    """Plain-attribute guard context for one directory dispatch."""
+
+    def __init__(self, entry, msg, si=False, upgrade_grant=False, txn=None):
+        self.msg = msg
+        self.txn = txn
+        self.si = si
+        self.upgrade_grant = upgrade_grant
+        self.targets = ()
+        src = msg.src
+        self.owner_is_requester = entry.owner == src
+        self.migratory_predicted = entry.migratory
+        self.tearoff_grant = si  # grant rows exist only in tear-off tables
+        self.no_other_sharers = not (entry.sharers - {src})
+        self.from_owner = entry.owner == src
+        self.from_pending = txn is None and entry.txn is not None and \
+            src in entry.txn.pending
+        self.carries_data = msg.carries_data
+        self.from_sharer = src in entry.sharers
+        self.last_sharer = len(entry.sharers) == 1
+
+
+class Checker:
+    """Breadth-first exploration of one variant's reachable state space."""
+
+    def __init__(self, variant, bugs=NO_BUGS, nodes=2, ops=3,
+                 max_states=400_000):
+        self.variant = variant
+        self.bugs = bugs
+        self.nodes = nodes
+        # Per-node processor-op budgets: an int gives every node the same
+        # budget, a tuple sets them individually (asymmetric budgets keep
+        # 3-node spaces tractable).
+        self.ops = tuple(ops) if isinstance(ops, (tuple, list)) \
+            else (ops,) * nodes
+        if len(self.ops) != nodes:
+            raise ValueError(f"ops budget {self.ops} does not match "
+                             f"{nodes} nodes")
+        self.max_states = max_states
+        self.ctable = cache_table(variant, bugs)
+        self.dtable = dir_table(variant, bugs)
+        self.ccov = CoverageTracker(self.ctable)
+        self.dcov = CoverageTracker(self.dtable)
+        self.states = 0
+        self.violation = None
+        self.trace = ()
+
+    # ------------------------------------------------------------------
+    # Exploration driver
+    # ------------------------------------------------------------------
+    def run(self):
+        init = (
+            (_EMPTY_CACHE,) * self.nodes,
+            _INIT_DIR,
+            (),
+            0,
+            self.ops,
+        )
+        seen = {init: (None, None)}
+        frontier = deque([init])
+        while frontier:
+            state = frontier.popleft()
+            moves = self._moves(state)
+            if not moves:
+                stuck = self._stuck_reason(state)
+                if stuck:
+                    self._record(state, None, seen,
+                                 f"stuck transaction: {stuck}")
+                    return self
+                continue
+            for desc, apply_fn in moves:
+                w = _W(state, self.nodes)
+                try:
+                    apply_fn(w)
+                    err = self._invariants(w)
+                    if err:
+                        raise Violation(err)
+                except (Violation, ProtocolError) as exc:
+                    self._record(state, desc, seen, str(exc))
+                    return self
+                nxt = w.freeze()
+                if nxt not in seen:
+                    seen[nxt] = (state, desc)
+                    self.states += 1
+                    if self.states > self.max_states:
+                        raise RuntimeError(
+                            f"state-space bound exceeded "
+                            f"({self.max_states} states); lower --ops"
+                        )
+                    frontier.append(nxt)
+        return self
+
+    def _record(self, state, desc, seen, message):
+        self.violation = message
+        path = [desc] if desc else []
+        cur = state
+        while True:
+            prev, mv = seen[cur]
+            if prev is None:
+                break
+            path.append(mv)
+            cur = prev
+        self.trace = tuple(reversed(path))
+
+    def uncovered(self):
+        return (self.ccov.uncovered((NORMAL,)), self.dcov.uncovered((NORMAL,)))
+
+    # ------------------------------------------------------------------
+    # Move enumeration
+    # ------------------------------------------------------------------
+    def _moves(self, state):
+        caches, entry, lanes, seq, ops = state
+        variant = self.variant
+        moves = []
+        hints = (False, True) if variant.identify in (
+            IdentifyScheme.VERSION, IdentifyScheme.CACHE
+        ) else (False,)
+        for n in range(self.nodes):
+            cn = caches[n]
+            mshr = cn.mshr
+            blocked = mshr is not None and (
+                not variant.wc or mshr.kind == "read"
+            )
+            if ops[n] > 0 and not blocked:
+                for hint in hints:
+                    moves.append((
+                        f"n{n}: LOAD" + (" [si]" if hint else ""),
+                        self._op_move(n, CE.LOAD, hint),
+                    ))
+                    moves.append((
+                        f"n{n}: STORE" + (" [si]" if hint else ""),
+                        self._op_move(n, CE.STORE, hint),
+                    ))
+                    if mshr is None or (mshr.acks_pending and cn.frame):
+                        moves.append((
+                            f"n{n}: SYNC_STORE" + (" [si]" if hint else ""),
+                            self._op_move(n, CE.SYNC_STORE, hint),
+                        ))
+            if variant.dsi and mshr is None and cn.frame is not None and (
+                cn.frame.si or cn.frame.st == "T"
+            ):
+                moves.append((f"n{n}: sync-flush", self._sync_move(n)))
+            if cn.frame is not None and mshr is None:
+                moves.append((f"n{n}: evict", self._evict_move(n)))
+            if variant.fifo and cn.fifo:
+                moves.append((f"n{n}: fifo-overflow", self._overflow_move(n)))
+        for (src, dst), msgs in lanes:
+            moves.append((
+                f"deliver {msgs[0].kind} {src}->{dst}",
+                self._deliver_move(src, dst),
+            ))
+        return moves
+
+    def _stuck_reason(self, state):
+        caches, entry, lanes, seq, ops = state
+        for n, cn in enumerate(caches):
+            if cn.mshr is not None:
+                return f"node {n} MSHR ({cn.mshr.kind}) never completes"
+        if entry.txn is not None:
+            return "directory transaction never completes"
+        if entry.deferred:
+            return "deferred requests never drained"
+        if lanes:
+            return "messages left in flight"
+        return None
+
+    # ------------------------------------------------------------------
+    # Moves
+    # ------------------------------------------------------------------
+    def _op_move(self, node, event, hint):
+        def apply(w):
+            self._cdispatch(w, node, event, hint=hint)
+            w.ops[node] -= 1
+        return apply
+
+    def _sync_move(self, node):
+        def apply(w):
+            frame = w.caches[node].frame
+            state = self._frame_state(frame)
+            self._cdispatch(w, node, CE.SI_SYNC, state=state)
+            w.caches[node] = w.caches[node]._replace(fifo=False)
+        return apply
+
+    def _evict_move(self, node):
+        def apply(w):
+            victim = w.caches[node].frame
+            w.caches[node] = w.caches[node]._replace(frame=None)
+            ctx = _CacheCtx(w, node, victim=victim)
+            self._crow(w, node, self._frame_state(victim), CE.EVICT, ctx)
+        return apply
+
+    def _overflow_move(self, node):
+        def apply(w):
+            w.caches[node] = w.caches[node]._replace(fifo=False)
+            self._cdispatch(w, node, CE.SI_OVERFLOW)
+        return apply
+
+    def _deliver_move(self, src, dst):
+        def apply(w):
+            msg = w.lanes[(src, dst)].pop(0)
+            if not w.lanes[(src, dst)]:
+                del w.lanes[(src, dst)]
+            if dst == DIR:
+                self._ddispatch(w, msg)
+            else:
+                self._deliver_cache(w, dst, msg)
+        return apply
+
+    def _deliver_cache(self, w, node, msg):
+        mshr = w.caches[node].mshr
+        if msg.kind in ("DATA", "DATA_EX") and mshr is not None and mshr.poisoned:
+            # The historical FIFO-overflow race: the frame this fill was
+            # bound for was yanked by a stale FIFO entry — the fill lands
+            # nowhere and the miss never completes.
+            return
+        was_read = mshr is not None and mshr.kind == "read"
+        pending = mshr is not None and mshr.pending_write
+        self._cdispatch(w, node, _CACHE_EVENTS[msg.kind], msg=msg)
+        if was_read and msg.kind in ("DATA", "DATA_EX") and pending:
+            frame = w.caches[node].frame
+            self._cdispatch(w, node, CE.WRITE_AFTER_READ,
+                            state=self._frame_state(frame))
+
+    # ------------------------------------------------------------------
+    # Cache-side interpreter
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _frame_state(frame):
+        if frame is None:
+            return CS.I
+        if frame.st == "T":
+            return CS.T
+        if frame.st == "E":
+            return CS.E
+        return CS.S
+
+    def _cache_state(self, cn):
+        mshr = cn.mshr
+        if mshr is not None:
+            if mshr.acks_pending:
+                return CS.E_A
+            if mshr.kind == "read":
+                return CS.IS_D
+            if mshr.kind == "write":
+                return CS.IM_D
+            return CS.SM_WI if mshr.invalidated else CS.SM_W
+        return self._frame_state(cn.frame)
+
+    def _cdispatch(self, w, node, event, msg=None, state=None, hint=False):
+        if state is None:
+            state = self._cache_state(w.caches[node])
+        ctx = _CacheCtx(w, node, msg=msg)
+        ctx.si_hint = hint
+        self._crow(w, node, state, event, ctx)
+
+    def _crow(self, w, node, state, event, ctx):
+        row = self.ctable.decide(state, event, ctx)
+        self.ccov.hit(row)
+        if row.error is not None:
+            raise Violation(
+                f"cache {node} error row: {row.error} "
+                f"(state {state.value}, event {event.value})"
+            )
+        for action in row.actions:
+            getattr(self, "_c_" + action.value)(w, node, ctx)
+
+    # -- cache action models -------------------------------------------
+    def _cset(self, w, node, **kw):
+        w.caches[node] = w.caches[node]._replace(**kw)
+
+    def _mshr_set(self, w, node, **kw):
+        w.caches[node] = w.caches[node]._replace(
+            mshr=w.caches[node].mshr._replace(**kw)
+        )
+
+    def _c_read_hit(self, w, node, ctx):
+        pass
+
+    def _c_queue_read_waiter(self, w, node, ctx):
+        pass
+
+    def _c_count_read_miss(self, w, node, ctx):
+        pass
+
+    def _c_count_write_miss(self, w, node, ctx):
+        pass
+
+    def _c_drop_sc_tearoff(self, w, node, ctx):
+        cn = w.caches[node]
+        if not cn.screm:
+            return
+        self._cset(w, node, screm=False)
+        frame = cn.frame
+        state = CS.T if frame is not None and frame.st == "T" else CS.I
+        self._crow(w, node, state, CE.SC_DROP, _CacheCtx(w, node))
+
+    def _c_alloc_mshr_read(self, w, node, ctx):
+        self._cset(w, node, mshr=Mshr("read", False, False, False, False))
+
+    def _c_alloc_mshr_write(self, w, node, ctx):
+        self._cset(w, node, mshr=Mshr("write", False, False, False, False))
+
+    def _c_pin_alloc_mshr_upgrade(self, w, node, ctx):
+        self._cset(w, node, mshr=Mshr("upgrade", False, False, False, False))
+
+    def _c_send_gets(self, w, node, ctx):
+        w.send(Msg("GETS", node, DIR, si_hint=ctx.si_hint))
+
+    def _c_send_getx(self, w, node, ctx):
+        w.send(Msg("GETX", node, DIR, si_hint=ctx.si_hint))
+
+    def _c_send_upgrade(self, w, node, ctx):
+        w.send(Msg("UPGRADE", node, DIR, si_hint=ctx.si_hint))
+
+    def _c_write_hit(self, w, node, ctx):
+        w.seq += 1
+        frame = w.caches[node].frame
+        self._cset(w, node, frame=frame._replace(dirty=True, data=w.seq))
+
+    def _c_wb_merge(self, w, node, ctx):
+        pass  # coalesces into the outstanding write's single application
+
+    def _c_wb_merge_pending(self, w, node, ctx):
+        pass
+
+    def _c_wb_wait_space(self, w, node, ctx):
+        raise AssertionError("write buffer cannot fill in a one-block model")
+
+    def _c_wb_alloc(self, w, node, ctx):
+        pass  # the buffered value is applied by the grant/fill action
+
+    def _c_wb_alloc_pending(self, w, node, ctx):
+        self._mshr_set(w, node, pending_write=True)
+
+    def _c_invalidate_copy(self, w, node, ctx):
+        self._cset(w, node, frame=None)
+
+    def _c_pop_close_mshr(self, w, node, ctx):
+        self._cset(w, node, mshr=None)
+
+    def _fill(self, w, node, st, dirty, ctx):
+        msg = ctx.msg
+        si = bool(msg.si) or (
+            self.variant.identify is IdentifyScheme.CACHE and msg.si_hint
+        )
+        tearoff = st == "T"
+        data = w.seq if dirty else msg.data
+        self._cset(w, node, frame=Frame(st, dirty, si, data))
+        if si and self.variant.fifo:
+            self._cset(w, node, fifo=True)
+        if tearoff and self.variant.tearoff is TearoffMode.SC:
+            self._cset(w, node, screm=True)
+
+    def _c_fill_s(self, w, node, ctx):
+        st = "T" if ctx.msg.tearoff else "S"
+        self._fill(w, node, st, False, ctx)
+
+    def _c_fill_e_clean(self, w, node, ctx):
+        self._fill(w, node, "E", False, ctx)
+
+    def _c_fill_e_dirty(self, w, node, ctx):
+        w.seq += 1  # the write that missed commits with the fill
+        self._fill(w, node, "E", True, ctx)
+        if ctx.msg.acks_pending:
+            self._cset(w, node, mshr=Mshr("write", False, True, False, False))
+        else:
+            self._cset(w, node, mshr=None)
+
+    def _c_apply_pending_write(self, w, node, ctx):
+        w.seq += 1
+        frame = w.caches[node].frame
+        self._cset(w, node, frame=frame._replace(dirty=True, data=w.seq))
+
+    def _c_wb_retire(self, w, node, ctx):
+        pass
+
+    def _c_unpin(self, w, node, ctx):
+        pass
+
+    def _c_drop_stale_upgrade_copy(self, w, node, ctx):
+        self._cset(w, node, frame=None)
+
+    def _c_retry_deferred_fills(self, w, node, ctx):
+        pass  # deferred fills need pinned conflicts across blocks
+
+    def _c_promote_to_exclusive(self, w, node, ctx):
+        frame = w.caches[node].frame
+        self._cset(w, node, frame=frame._replace(st="E"))
+
+    def _c_apply_mshr_write(self, w, node, ctx):
+        w.seq += 1
+        frame = w.caches[node].frame
+        self._cset(w, node, frame=frame._replace(dirty=True, data=w.seq))
+
+    def _c_mark_si_from_grant(self, w, node, ctx):
+        if ctx.msg.si:
+            frame = w.caches[node].frame
+            self._cset(w, node, frame=frame._replace(si=True))
+            if self.variant.fifo:
+                self._cset(w, node, fifo=True)
+
+    def _c_write_granted(self, w, node, ctx):
+        if ctx.msg.acks_pending:
+            self._mshr_set(w, node, acks_pending=True)
+        else:
+            self._cset(w, node, mshr=None)
+
+    def _c_write_complete(self, w, node, ctx):
+        self._cset(w, node, mshr=None)
+
+    def _c_record_inv(self, w, node, ctx):
+        frame = w.caches[node].frame
+        ctx.inv_data = frame.data if frame is not None else 0
+
+    def _c_mark_upgrade_invalidated(self, w, node, ctx):
+        self._mshr_set(w, node, invalidated=True)
+
+    def _c_reply_inv_ack(self, w, node, ctx):
+        w.send(Msg("INV_ACK", node, DIR))
+
+    def _c_reply_inv_ack_data(self, w, node, ctx):
+        w.send(Msg("INV_ACK_DATA", node, DIR, carries_data=True,
+                   data=ctx.inv_data))
+
+    def _si_notify(self, w, node, frame):
+        w.send(Msg("SI_NOTIFY", node, DIR, carries_data=frame.dirty,
+                   data=frame.data, si_marked=True))
+
+    def _c_si_sync_silent(self, w, node, ctx):
+        self._cset(w, node, frame=None)
+
+    def _c_si_sync_notify(self, w, node, ctx):
+        self._si_notify(w, node, w.caches[node].frame)
+        self._cset(w, node, frame=None)
+
+    def _c_si_early_silent(self, w, node, ctx):
+        self._cset(w, node, frame=None)
+
+    def _c_si_early_notify(self, w, node, ctx):
+        frame = w.caches[node].frame
+        if frame is not None:
+            self._si_notify(w, node, frame)
+            self._cset(w, node, frame=None)
+        else:
+            # Bug row: the stale FIFO entry names the tag of the miss in
+            # flight — the frame the fill was bound for is yanked.
+            w.send(Msg("SI_NOTIFY", node, DIR, si_marked=True))
+            if w.caches[node].mshr is not None:
+                self._mshr_set(w, node, poisoned=True)
+
+    def _c_sc_drop_tearoff(self, w, node, ctx):
+        self._cset(w, node, frame=None, screm=False)
+
+    def _c_evict_count(self, w, node, ctx):
+        pass
+
+    def _c_evict_wb(self, w, node, ctx):
+        victim = ctx.victim
+        w.send(Msg("WB", node, DIR, carries_data=True, data=victim.data,
+                   si_marked=victim.si))
+
+    def _c_evict_repl(self, w, node, ctx):
+        w.send(Msg("REPL", node, DIR, si_marked=ctx.victim.si))
+
+    # ------------------------------------------------------------------
+    # Directory-side interpreter
+    # ------------------------------------------------------------------
+    def _dir_state(self, entry):
+        if entry.txn is not None:
+            txn = entry.txn
+            if txn.waiting_wb:
+                return DS.B_WB
+            if txn.wc_parallel:
+                return DS.B_WCP
+            if txn.kind == "read":
+                return DS.B_READ
+            return DS.B_WRITE
+        return {"I": DS.IDLE, "S": DS.SHARED, "E": DS.EXCL}[entry.state]
+
+    def _decide_si(self, entry, msg, is_read):
+        scheme = self.variant.identify
+        if scheme is IdentifyScheme.NONE or scheme is IdentifyScheme.CACHE:
+            return False
+        if scheme is IdentifyScheme.VERSION:
+            si = msg.si_hint
+        else:  # STATES: computed exactly from the modelled entry
+            src = msg.src
+            if is_read:
+                si = (
+                    (entry.state == "E" and entry.owner != src)
+                    or (entry.state == "S" and entry.shared_si)
+                    or (entry.state == "I" and entry.flavor in ("x", "si"))
+                )
+            else:
+                si = (
+                    entry.state == "S"
+                    or (entry.state == "E" and entry.owner != src)
+                    or (entry.state == "I" and (
+                        entry.flavor in ("s", "si")
+                        or (entry.flavor == "x" and entry.last_writer != src)
+                    ))
+                )
+        if si and not is_read and not self.variant.wc:
+            # §4.1 SC upgrade special case (sole sharer).
+            if msg.kind == "UPGRADE" and entry.sharers == {msg.src}:
+                si = False
+        return si
+
+    def _ddispatch(self, w, msg, state=None):
+        entry = w.dir
+        event = _DIR_EVENTS[msg.kind]
+        if state is None:
+            state = self._dir_state(entry)
+        if event in (DE.GETS, DE.GETX, DE.UPGRADE):
+            si = self._decide_si(entry, msg, event is DE.GETS)
+            upgrade = (
+                msg.kind == "UPGRADE" and entry.state == "S"
+                and msg.src in entry.sharers
+            )
+            ctx = _DirCtx(entry, msg, si=si, upgrade_grant=upgrade)
+        else:
+            ctx = _DirCtx(entry, msg)
+        self._drow(w, state, event, ctx)
+
+    def _drow(self, w, state, event, ctx):
+        row = self.dtable.decide(state, event, ctx)
+        self.dcov.hit(row)
+        if row.error is not None:
+            raise Violation(
+                f"directory error row: {row.error} "
+                f"(state {state.value}, event {event.value}, "
+                f"from node {ctx.msg.src})"
+            )
+        for action in row.actions:
+            getattr(self, "_d_" + action.value)(w, ctx)
+
+    # -- directory action models ---------------------------------------
+    def _dset(self, w, **kw):
+        w.dir = w.dir._replace(**kw)
+
+    def _d_defer(self, w, ctx):
+        self._dset(w, deferred=w.dir.deferred + (ctx.msg,))
+
+    def _d_clear_migratory(self, w, ctx):
+        self._dset(w, migratory=False)
+
+    def _d_detect_migratory(self, w, ctx):
+        entry = w.dir
+        if (
+            not entry.migratory
+            and ctx.upgrade_grant
+            and entry.last_writer not in (None, ctx.msg.src)
+        ):
+            self._dset(w, migratory=True)
+
+    def _begin(self, w, ctx, kind, migratory_read=False, shared=False):
+        entry = w.dir
+        targets = frozenset(entry.sharers - {ctx.msg.src}) if shared else frozenset()
+        ctx.targets = tuple(sorted(targets))
+        ctx.txn = Txn(kind, ctx.msg.src, ctx.msg, targets, False, False,
+                      ctx.upgrade_grant if shared else False, ctx.si,
+                      migratory_read)
+        self._dset(w, txn=ctx.txn)
+
+    def _d_begin_read_txn(self, w, ctx):
+        self._begin(w, ctx, "read")
+
+    def _d_begin_write_txn(self, w, ctx):
+        self._begin(w, ctx, "write")
+
+    def _d_begin_migratory_txn(self, w, ctx):
+        self._begin(w, ctx, "write", migratory_read=True)
+
+    def _d_begin_write_txn_shared(self, w, ctx):
+        self._begin(w, ctx, "write", shared=True)
+
+    def _txn_set(self, w, ctx, **kw):
+        ctx.txn = ctx.txn._replace(**kw)
+        self._dset(w, txn=ctx.txn)
+
+    def _d_await_wb(self, w, ctx):
+        self._txn_set(w, ctx, waiting_wb=True)
+
+    def _d_inv_owner(self, w, ctx):
+        owner = w.dir.owner
+        self._txn_set(w, ctx, pending=frozenset({owner}))
+        w.send(Msg("INV", DIR, owner))
+
+    def _d_inv_sharers(self, w, ctx):
+        for target in ctx.targets:
+            w.send(Msg("INV", DIR, target))
+
+    def _d_grant_read_tearoff(self, w, ctx):
+        entry = w.dir
+        if entry.state == "E" and entry.owner is None:
+            self._dset(w, state="I", flavor="x")
+        w.send(Msg("DATA", DIR, ctx.msg.src, si=ctx.si, tearoff=True,
+                   carries_data=True, data=w.dir.data,
+                   si_hint=ctx.msg.si_hint))
+
+    def _d_grant_read_tracked(self, w, ctx):
+        entry = w.dir
+        src = ctx.msg.src
+        kw = {"sharers": entry.sharers | {src}}
+        if entry.state != "S":
+            kw.update(state="S", flavor="plain", shared_si=False)
+        self._dset(w, **kw)
+        if ctx.si and self.variant.identify is IdentifyScheme.STATES:
+            self._dset(w, shared_si=True)
+        w.send(Msg("DATA", DIR, src, si=ctx.si, carries_data=True,
+                   data=w.dir.data, si_hint=ctx.msg.si_hint))
+
+    def _grant_write(self, w, ctx, acks_pending):
+        src = ctx.msg.src
+        upgrade = ctx.txn.upgrade_grant if ctx.txn is not None else ctx.upgrade_grant
+        self._dset(w, state="E", owner=src, sharers=frozenset(),
+                   shared_si=False, flavor="plain", last_writer=src)
+        kind = "UPGRADE_ACK" if upgrade else "DATA_EX"
+        w.send(Msg(kind, DIR, src, si=ctx.si, acks_pending=acks_pending,
+                   carries_data=kind == "DATA_EX", data=w.dir.data,
+                   si_hint=ctx.msg.si_hint))
+
+    def _d_grant_write(self, w, ctx):
+        self._grant_write(w, ctx, acks_pending=False)
+
+    def _d_grant_write_parallel(self, w, ctx):
+        self._txn_set(w, ctx, wc_parallel=True)
+        self._grant_write(w, ctx, acks_pending=True)
+
+    def _d_process_ack(self, w, ctx):
+        entry = w.dir
+        txn = entry.txn
+        src = ctx.msg.src
+        txn = txn._replace(pending=txn.pending - {src})
+        kw = {"txn": txn, "sharers": entry.sharers - {src}}
+        if ctx.msg.carries_data:
+            kw["data"] = ctx.msg.data
+        elif txn.migratory_read and entry.owner == src:
+            kw["migratory"] = False
+        if entry.owner == src:
+            kw["owner"] = None
+        self._dset(w, **kw)
+        if not txn.pending:
+            state = self._dir_state(w.dir)
+            self._drow(w, state, DE.LAST_ACK,
+                       _DirCtx(w.dir, txn.req, si=txn.si, txn=txn))
+
+    def _d_notification_as_ack(self, w, ctx):
+        # Historical bug row: the crossing notification is consumed as an
+        # acknowledgment substitute.
+        entry = w.dir
+        txn = entry.txn
+        txn = txn._replace(pending=txn.pending - {ctx.msg.src})
+        self._dset(w, txn=txn)
+        if not txn.pending:
+            state = self._dir_state(w.dir)
+            self._drow(w, state, DE.LAST_ACK,
+                       _DirCtx(w.dir, txn.req, si=txn.si, txn=txn))
+
+    def _d_finish_txn(self, w, ctx):
+        self._dset(w, txn=None)
+
+    def _d_send_ack_done(self, w, ctx):
+        w.send(Msg("ACK_DONE", DIR, ctx.txn.src))
+
+    def _d_drain_deferred(self, w, ctx):
+        while w.dir.deferred and w.dir.txn is None:
+            msg = w.dir.deferred[0]
+            self._dset(w, deferred=w.dir.deferred[1:])
+            self._ddispatch(w, msg)
+
+    def _d_apply_notification(self, w, ctx):
+        entry = w.dir
+        state = {"I": DS.IDLE, "S": DS.SHARED, "E": DS.EXCL}[entry.state]
+        self._drow(w, state, _DIR_EVENTS[ctx.msg.kind], _DirCtx(entry, ctx.msg))
+
+    def _d_restart_waiting_request(self, w, ctx):
+        req = w.dir.txn.req
+        self._dset(w, txn=None)
+        self._ddispatch(w, req)
+        self._d_drain_deferred(w, ctx)
+
+    def _idle_flavor(self, msg, on_si="x"):
+        if msg.kind == "SI_NOTIFY":
+            return on_si
+        return "si" if msg.si_marked else "plain"
+
+    def _d_accept_owner_data(self, w, ctx):
+        self._dset(w, data=ctx.msg.data, owner=None, state="I",
+                   flavor=self._idle_flavor(ctx.msg))
+
+    def _d_drop_clean_owner(self, w, ctx):
+        self._dset(w, owner=None, state="I", flavor=self._idle_flavor(ctx.msg))
+
+    def _d_remove_sharer(self, w, ctx):
+        self._dset(w, sharers=w.dir.sharers - {ctx.msg.src})
+
+    def _d_remove_last_sharer(self, w, ctx):
+        self._dset(w, sharers=w.dir.sharers - {ctx.msg.src}, state="I",
+                   shared_si=False, flavor=self._idle_flavor(ctx.msg, on_si="s"))
+
+    def _d_count_stale(self, w, ctx):
+        pass
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def _invariants(self, w):
+        exclusive = [
+            n for n, cn in enumerate(w.caches)
+            if cn.frame is not None and cn.frame.st == "E"
+        ]
+        if len(exclusive) > 1:
+            return f"single-writer violated: nodes {exclusive} both exclusive"
+        settled = [
+            n for n in exclusive
+            if not (w.caches[n].mshr is not None
+                    and w.caches[n].mshr.acks_pending)
+        ]
+        if settled:
+            others = [
+                n for n, cn in enumerate(w.caches)
+                if n != settled[0] and cn.frame is not None
+                and cn.frame.st in ("S", "E")
+            ]
+            if others:
+                return (
+                    f"single-writer violated: node {settled[0]} exclusive "
+                    f"while nodes {others} hold tracked copies"
+                )
+        latest = w.dir.data
+        for cn in w.caches:
+            if cn.frame is not None:
+                latest = max(latest, cn.frame.data)
+        for msgs in w.lanes.values():
+            for msg in msgs:
+                if msg.kind in _DATA_CARRIERS and msg.carries_data:
+                    latest = max(latest, msg.data)
+        if latest != w.seq:
+            return (
+                f"data-value violated: latest write {w.seq} lost "
+                f"(best reachable value {latest})"
+            )
+        return None
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+class VariantReport:
+    """Result of checking one variant over several model configurations."""
+
+    def __init__(self, variant, bugs):
+        self.variant = variant
+        self.bugs = bugs
+        self.states = 0
+        self.violation = None
+        self.trace = ()
+        self.uncovered_cache = ()
+        self.uncovered_dir = ()
+
+    @property
+    def ok(self):
+        return self.violation is None and not self.uncovered_cache \
+            and not self.uncovered_dir
+
+    def describe(self):
+        return self.variant.describe()
+
+
+def default_configs(variant):
+    """Model configurations explored per variant: ``(nodes, ops)`` pairs.
+
+    Two nodes with three ops each reach every NORMAL row except the
+    three-party upgrade/INV race (``SM_WI`` re-granted while a deferred
+    reader re-shares the block), which only WC variants have; for those
+    a third node with asymmetric budgets (2, 1, 1) adds it while keeping
+    the space tractable.
+    """
+    configs = [(2, 3)]
+    if variant.wc:
+        configs.append((3, (2, 1, 1)))
+    return tuple(configs)
+
+
+def check_variant(variant, bugs=NO_BUGS, configs=None,
+                  max_states=400_000, require_coverage=True):
+    """Explore one variant across the given model configurations.
+
+    ``configs`` is a sequence of ``(nodes, ops)`` pairs (defaulting to
+    :func:`default_configs`).  Returns a :class:`VariantReport`;
+    coverage is aggregated over all runs (a row is covered if any
+    configuration fires it).
+    """
+    if configs is None:
+        configs = default_configs(variant)
+    report = VariantReport(variant, bugs)
+    fired_cache = set()
+    fired_dir = set()
+    checker = None
+    for n, ops in configs:
+        checker = Checker(variant, bugs, nodes=n, ops=ops,
+                          max_states=max_states).run()
+        report.states += checker.states
+        fired_cache.update(checker.ccov.fired)
+        fired_dir.update(checker.dcov.fired)
+        if checker.violation is not None:
+            report.violation = checker.violation
+            report.trace = checker.trace
+            return report
+    if require_coverage and checker is not None:
+        report.uncovered_cache = tuple(
+            t for t in checker.ctable.transitions
+            if t.kind == NORMAL and t.key not in fired_cache
+        )
+        report.uncovered_dir = tuple(
+            t for t in checker.dtable.transitions
+            if t.kind == NORMAL and t.key not in fired_dir
+        )
+    return report

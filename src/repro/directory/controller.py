@@ -5,6 +5,14 @@ home is that node.  Every incoming message occupies the controller for
 ``dir_ctrl_cycles`` (10) cycles — this occupancy, together with the FIFO
 queueing in front of it, is the directory contention the paper models.
 
+Every state decision is made by the declarative transition table in
+:mod:`repro.coherence.dir_table`: ``_dispatch`` derives the symbolic
+directory state (:class:`~repro.coherence.events.DirState`), asks the
+table for the first matching guarded row, and runs the row's actions.
+What remains here is mechanism — message intake, the transaction slot,
+grant/INV message construction, deferred-queue bookkeeping — plus one
+``_act_*`` method per :class:`~repro.coherence.events.DirAction`.
+
 Protocol summary
 ----------------
 * **GETS** — Idle/Shared: respond immediately.  Exclusive: invalidate the
@@ -38,6 +46,10 @@ mode is on (WC), marked *shared* responses become tear-off blocks: the
 requester is not recorded in the full map.
 """
 
+from repro.coherence.diagnostics import directory_diagnostic
+from repro.coherence.dir_table import dir_table
+from repro.coherence.events import DirAction as A, DirEvent as E, DirState as S
+from repro.coherence.variants import ProtocolVariant
 from repro.config import Consistency, IdentifyScheme
 from repro.directory.state import (
     DIR_EXCLUSIVE,
@@ -52,6 +64,25 @@ from repro.directory.state import DirEntry
 from repro.engine.resource import Resource
 from repro.errors import ProtocolError
 from repro.network.message import Message, MsgKind
+
+#: message kind -> table event
+_EVENTS = {
+    MsgKind.GETS: E.GETS,
+    MsgKind.GETX: E.GETX,
+    MsgKind.UPGRADE: E.UPGRADE,
+    MsgKind.INV_ACK: E.INV_ACK,
+    MsgKind.INV_ACK_DATA: E.INV_ACK_DATA,
+    MsgKind.WB: E.WB,
+    MsgKind.REPL: E.REPL,
+    MsgKind.SI_NOTIFY: E.SI_NOTIFY,
+}
+_REQUESTS = (E.GETS, E.GETX, E.UPGRADE)
+#: span label for the dir_txn_begin probe
+_REQ_KIND = {E.GETS: "read", E.GETX: "write", E.UPGRADE: "upgrade"}
+#: entry.state -> symbolic stable state
+_STATES = {DIR_IDLE: S.IDLE, DIR_SHARED: S.SHARED, DIR_EXCLUSIVE: S.EXCL}
+
+_UNSET = object()
 
 
 class Transaction:
@@ -81,6 +112,96 @@ class Transaction:
         self.migratory_read = False  # a read served with an exclusive copy
 
 
+class _Ctx:
+    """Dispatch context: the table's guards are lazy properties over it.
+
+    Classification is *lazy* so that rows whose actions precede it (the
+    Cox-Fowler migratory detection) observe the entry exactly as the
+    hand-written controller did: probe, detection, then classify.  A
+    context built for the internal LAST_ACK event carries the deferred
+    transaction's original decision and upgrade flag instead.
+    """
+
+    __slots__ = ("ctrl", "entry", "msg", "txn", "targets", "inval_wait",
+                 "_decision", "_upgrade_grant")
+
+    def __init__(self, ctrl, entry, msg, txn=None):
+        self.ctrl = ctrl
+        self.entry = entry
+        self.msg = msg
+        self.txn = txn
+        self.targets = ()
+        self.inval_wait = 0
+        if txn is not None:
+            self._decision = txn.decision
+            self._upgrade_grant = txn.upgrade_grant
+        else:
+            self._decision = _UNSET
+            self._upgrade_grant = _UNSET
+
+    @property
+    def decision(self):
+        if self._decision is _UNSET:
+            if self.msg.kind is MsgKind.GETS:
+                self._decision = self.ctrl._classify_read(self.entry, self.msg)
+            else:
+                self._decision = self.ctrl._classify_write(
+                    self.entry, self.msg, self.upgrade_grant
+                )
+        return self._decision
+
+    @property
+    def upgrade_grant(self):
+        if self._upgrade_grant is _UNSET:
+            self._upgrade_grant = (
+                self.msg.kind is MsgKind.UPGRADE
+                and self.entry.state == DIR_SHARED
+                and self.entry.has_sharer(self.msg.src)
+            )
+        return self._upgrade_grant
+
+    # -- guards ---------------------------------------------------------
+    @property
+    def owner_is_requester(self):
+        return self.entry.owner == self.msg.src
+
+    @property
+    def migratory_predicted(self):
+        # Rows using this guard only exist in migratory-variant tables.
+        return self.entry.migratory
+
+    @property
+    def tearoff_grant(self):
+        config = self.ctrl.config
+        return bool(self.decision.si and (config.tearoff or config.sc_tearoff))
+
+    @property
+    def no_other_sharers(self):
+        src = self.msg.src
+        return not [n for n in self.entry.sharer_list() if n != src]
+
+    @property
+    def from_owner(self):
+        return self.msg.src == self.entry.owner
+
+    @property
+    def from_pending(self):
+        txn = self.entry.txn
+        return txn is not None and self.msg.src in txn.pending_inv
+
+    @property
+    def from_sharer(self):
+        return self.entry.has_sharer(self.msg.src)
+
+    @property
+    def carries_data(self):
+        return self.msg.carries_data
+
+    @property
+    def last_sharer(self):
+        return self.entry.sharer_count() == 1
+
+
 class DirectoryController:
     """Directory controller for one home node."""
 
@@ -96,6 +217,8 @@ class DirectoryController:
         self.stale_messages = 0
         self._wc = config.consistency is Consistency.WC
         self._states_scheme = config.identify is IdentifyScheme.STATES
+        self.variant = ProtocolVariant.from_config(config)
+        self.table = dir_table(self.variant)
 
     # ------------------------------------------------------------------
     # Entry management
@@ -107,38 +230,253 @@ class DirectoryController:
             self.entries[block] = entry
         return entry
 
+    def symbolic_state(self, block):
+        """Symbolic protocol state of ``block``'s entry."""
+        entry = self.entries.get(block)
+        if entry is None:
+            return S.IDLE
+        return self._derive_state(entry)
+
+    @staticmethod
+    def _derive_state(entry):
+        if entry.busy:
+            txn = entry.txn
+            if txn.waiting_wb:
+                return S.B_WB
+            if txn.wc_parallel:
+                return S.B_WCP
+            if txn.kind == "read":
+                return S.B_READ
+            return S.B_WRITE
+        return _STATES[entry.state]
+
     # ------------------------------------------------------------------
-    # Message intake
+    # Message intake and table dispatch
     # ------------------------------------------------------------------
     def receive(self, msg):
         """Entry point from the network: queue behind the controller."""
         self.resource.submit(self.config.dir_ctrl_cycles, self._process, msg)
 
     def _process(self, msg):
-        if msg.kind in (MsgKind.GETS, MsgKind.GETX, MsgKind.UPGRADE):
-            entry = self.entry_for(msg.block)
-            if entry.busy:
-                entry.deferred.append(msg)
-            else:
-                self._start(entry, msg)
-        else:
-            self._notification(msg)
-
-    # ------------------------------------------------------------------
-    # Requests
-    # ------------------------------------------------------------------
-    def _start(self, entry, msg):
-        if self.obs is not None:
-            kind = (
-                "read" if msg.kind is MsgKind.GETS
-                else ("upgrade" if msg.kind is MsgKind.UPGRADE else "write")
+        event = _EVENTS.get(msg.kind)
+        if event is None:
+            raise ProtocolError(
+                f"directory {self.node} received unexpected {msg!r}"
             )
-            self.obs.dir_txn_begin(self.node, msg.block, kind, msg.src)
-        if msg.kind is MsgKind.GETS:
-            self._start_read(entry, msg)
-        else:
-            self._start_write(entry, msg)
+        self._dispatch(event, _Ctx(self, self.entry_for(msg.block), msg))
 
+    def _dispatch(self, event, ctx, state=None):
+        """Derive the symbolic state, pick the row, run its actions."""
+        if state is None:
+            state = self._derive_state(ctx.entry)
+        row = self.table.decide(state, event, ctx)
+        if self.obs is not None:
+            if event in _REQUESTS and row.actions[0] is not A.DEFER:
+                self.obs.dir_txn_begin(
+                    self.node, ctx.msg.block, _REQ_KIND[event], ctx.msg.src
+                )
+            self.obs.protocol_transition(
+                "dir", self.node, ctx.msg.block,
+                state.value, event.value, (row.next_state or state).value,
+            )
+        if row.error is not None:
+            raise ProtocolError(
+                f"dir {self.node}: {row.error} (block {ctx.msg.block}, "
+                f"from node {ctx.msg.src}, state {state.value})"
+            )
+        for action in row.actions:
+            _ACTIONS[action](self, ctx)
+
+    # ------------------------------------------------------------------
+    # Request actions
+    # ------------------------------------------------------------------
+    def _act_defer(self, ctx):
+        ctx.entry.deferred.append(ctx.msg)
+
+    def _act_clear_migratory(self, ctx):
+        ctx.entry.migratory = False
+
+    def _act_detect_migratory(self, ctx):
+        # The Cox-Fowler signature: the sole reader of a block last
+        # written by someone else now writes it — migration detected.
+        # Runs before classification (ctx.decision is still unset here).
+        entry = ctx.entry
+        if (
+            not entry.migratory
+            and ctx.upgrade_grant
+            and entry.last_writer not in (None, ctx.msg.src)
+        ):
+            entry.migratory = True
+
+    def _act_begin_read_txn(self, ctx):
+        ctx.txn = txn = Transaction("read", ctx.msg, ctx.decision)
+        ctx.entry.busy = True
+        ctx.entry.txn = txn
+
+    def _act_begin_write_txn(self, ctx):
+        ctx.txn = txn = Transaction("write", ctx.msg, ctx.decision)
+        ctx.entry.busy = True
+        ctx.entry.txn = txn
+
+    def _act_begin_migratory_txn(self, ctx):
+        # Serve a read of a detected-migratory block with an *exclusive*
+        # copy, eliminating the upgrade the reader would otherwise issue
+        # (Cox & Fowler / Stenström et al.; cited as complementary in §2).
+        ctx.txn = txn = Transaction("write", ctx.msg, ctx.decision)
+        txn.migratory_read = True
+        ctx.entry.busy = True
+        ctx.entry.txn = txn
+
+    def _act_begin_write_txn_shared(self, ctx):
+        entry, msg = ctx.entry, ctx.msg
+        ctx.targets = [n for n in entry.sharer_list() if n != msg.src]
+        ctx.txn = txn = Transaction("write", msg, ctx.decision, ctx.upgrade_grant)
+        txn.pending_inv.update(ctx.targets)
+        entry.busy = True
+        entry.txn = txn
+        txn.inv_sent_at = self.sim.now
+
+    def _act_await_wb(self, ctx):
+        # Late-writeback race: the owner's WB is in flight.
+        ctx.txn.waiting_wb = True
+
+    def _act_inv_owner(self, ctx):
+        entry, txn = ctx.entry, ctx.txn
+        txn.pending_inv.add(entry.owner)
+        txn.inv_sent_at = self.sim.now
+        self._send_inv(ctx.msg.block, entry.owner)
+
+    def _act_inv_sharers(self, ctx):
+        for target in ctx.targets:
+            self._send_inv(ctx.msg.block, target)
+
+    def _act_grant_read_tearoff(self, ctx):
+        self._grant_read(ctx.entry, ctx.msg, ctx.decision, ctx.inval_wait)
+
+    def _act_grant_read_tracked(self, ctx):
+        self._grant_read(ctx.entry, ctx.msg, ctx.decision, ctx.inval_wait)
+
+    def _act_grant_write(self, ctx):
+        self._grant_write(
+            ctx.entry, ctx.msg, ctx.decision, ctx.upgrade_grant, ctx.inval_wait
+        )
+
+    def _act_grant_write_parallel(self, ctx):
+        # Parallel grant: respond now, forward one ACK_DONE later.
+        ctx.txn.wc_parallel = True
+        self._grant_write(
+            ctx.entry, ctx.msg, ctx.decision, ctx.upgrade_grant,
+            ctx.inval_wait, acks_pending=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Acknowledgment actions
+    # ------------------------------------------------------------------
+    def _act_process_ack(self, ctx):
+        entry, msg = ctx.entry, ctx.msg
+        txn = entry.txn
+        src = msg.src
+        txn.pending_inv.discard(src)
+        if self.obs is not None:
+            self.obs.inv_acked(self.node, msg.block, src)
+        if msg.carries_data:
+            entry.data = msg.data
+        elif txn.migratory_read and entry.owner == src:
+            # The previous "migratory" owner never wrote its exclusive
+            # copy: the prediction was wrong.
+            entry.migratory = False
+        if entry.owner == src:
+            entry.owner = None
+        entry.remove_sharer(src)
+        if not txn.pending_inv:
+            self._dispatch(E.LAST_ACK, _Ctx(self, entry, txn.msg, txn=txn))
+
+    def _act_notification_as_ack(self, ctx):
+        # Bug-injection row (checker models only): never built into the
+        # production tables.
+        raise ProtocolError(
+            "bug-injection row reached the production directory controller"
+        )
+
+    def _act_finish_txn(self, ctx):
+        txn = ctx.txn
+        ctx.inval_wait = self.sim.now - txn.inv_sent_at
+        ctx.entry.busy = False
+        ctx.entry.txn = None
+
+    def _act_send_ack_done(self, ctx):
+        txn = ctx.txn
+        self.network.send(
+            Message(MsgKind.ACK_DONE, txn.msg.block, src=self.node, dst=txn.msg.src)
+        )
+        if self.obs is not None:
+            self.obs.dir_txn_end(self.node, txn.msg.block)
+
+    def _act_drain_deferred(self, ctx):
+        self._drain_deferred(ctx.entry)
+
+    # ------------------------------------------------------------------
+    # Notification actions
+    # ------------------------------------------------------------------
+    def _act_apply_notification(self, ctx):
+        # A notification racing with a busy transaction is applied against
+        # the entry's underlying *stable* state: nested dispatch picks the
+        # per-kind row (accept data / drop owner / remove sharer / stale).
+        entry = ctx.entry
+        self._dispatch(
+            _EVENTS[ctx.msg.kind],
+            _Ctx(self, entry, ctx.msg),
+            state=_STATES[entry.state],
+        )
+
+    def _act_restart_waiting_request(self, ctx):
+        # The awaited writeback arrived: replay the waiting request from
+        # scratch (it re-classifies against the updated entry).
+        entry = ctx.entry
+        request = entry.txn.msg
+        entry.busy = False
+        entry.txn = None
+        self._dispatch(_EVENTS[request.kind], _Ctx(self, entry, request))
+        self._drain_deferred(entry)
+
+    def _act_accept_owner_data(self, ctx):
+        entry, msg = ctx.entry, ctx.msg
+        entry.data = msg.data
+        entry.owner = None
+        entry.state = DIR_IDLE
+        if msg.kind is MsgKind.SI_NOTIFY:
+            entry.idle_flavor = FLAVOR_X
+        else:
+            entry.idle_flavor = FLAVOR_SI if msg.si_marked else FLAVOR_PLAIN
+
+    def _act_drop_clean_owner(self, ctx):
+        entry, msg = ctx.entry, ctx.msg
+        entry.owner = None
+        entry.state = DIR_IDLE
+        entry.idle_flavor = (
+            FLAVOR_X if msg.kind is MsgKind.SI_NOTIFY
+            else (FLAVOR_SI if msg.si_marked else FLAVOR_PLAIN)
+        )
+
+    def _act_remove_sharer(self, ctx):
+        ctx.entry.remove_sharer(ctx.msg.src)
+
+    def _act_remove_last_sharer(self, ctx):
+        entry, msg = ctx.entry, ctx.msg
+        entry.remove_sharer(msg.src)
+        entry.state = DIR_IDLE
+        entry.shared_si = False
+        if msg.kind is MsgKind.SI_NOTIFY:
+            entry.idle_flavor = FLAVOR_S
+        else:
+            entry.idle_flavor = FLAVOR_SI if msg.si_marked else FLAVOR_PLAIN
+
+    def _act_count_stale(self, ctx):
+        self.stale_messages += 1
+
+    # ------------------------------------------------------------------
+    # Classification (the DSI identification hook)
+    # ------------------------------------------------------------------
     def _classify_read(self, entry, msg):
         decision = self.policy.classify_read(entry, msg.src, msg.version)
         if self.config.home_exclusion and msg.src == self.node:
@@ -160,99 +498,6 @@ class DirectoryController:
             # self-invalidate the exclusive copy under SC.
             decision.si = False
         return decision
-
-    def _start_read(self, entry, msg):
-        decision = self._classify_read(entry, msg)
-        if self.config.migratory and entry.migratory:
-            if entry.state == DIR_SHARED:
-                # Multiple readers: the migration pattern broke.
-                entry.migratory = False
-            else:
-                self._start_migratory_read(entry, msg, decision)
-                return
-        if entry.state == DIR_EXCLUSIVE:
-            txn = Transaction("read", msg, decision)
-            entry.busy = True
-            entry.txn = txn
-            if entry.owner == msg.src:
-                # Late-writeback race: the owner's WB is in flight.
-                txn.waiting_wb = True
-                return
-            txn.pending_inv.add(entry.owner)
-            txn.inv_sent_at = self.sim.now
-            self._send_inv(msg.block, entry.owner)
-            return
-        self._grant_read(entry, msg, decision, inval_wait=0)
-
-    def _start_migratory_read(self, entry, msg, decision):
-        """Serve a read of a detected-migratory block with an *exclusive*
-        copy, eliminating the upgrade the reader would otherwise issue
-        (Cox & Fowler / Stenström et al.; cited as complementary in §2)."""
-        txn = Transaction("write", msg, decision)
-        txn.migratory_read = True
-        if entry.state == DIR_EXCLUSIVE:
-            entry.busy = True
-            entry.txn = txn
-            if entry.owner == msg.src:
-                txn.waiting_wb = True
-                return
-            txn.pending_inv.add(entry.owner)
-            txn.inv_sent_at = self.sim.now
-            self._send_inv(msg.block, entry.owner)
-            return
-        # Idle (any flavor): grant directly.
-        self._grant_write(entry, msg, decision, upgrade_grant=False, inval_wait=0)
-
-    def _start_write(self, entry, msg):
-        requester = msg.src
-        upgrade_grant = (
-            msg.kind is MsgKind.UPGRADE
-            and entry.state == DIR_SHARED
-            and entry.has_sharer(requester)
-        )
-        if (
-            self.config.migratory
-            and not entry.migratory
-            and upgrade_grant
-            and entry.sharer_count() == 1
-            and entry.last_writer not in (None, requester)
-        ):
-            # The Cox-Fowler signature: the sole reader of a block last
-            # written by someone else now writes it — migration detected.
-            entry.migratory = True
-        decision = self._classify_write(entry, msg, upgrade_grant)
-        if entry.state == DIR_EXCLUSIVE:
-            txn = Transaction("write", msg, decision)
-            entry.busy = True
-            entry.txn = txn
-            if entry.owner == requester:
-                txn.waiting_wb = True
-                return
-            txn.pending_inv.add(entry.owner)
-            txn.inv_sent_at = self.sim.now
-            self._send_inv(msg.block, entry.owner)
-            return
-        if entry.state == DIR_SHARED:
-            targets = [n for n in entry.sharer_list() if n != requester]
-            if not targets:
-                self._grant_write(entry, msg, decision, upgrade_grant, inval_wait=0)
-                return
-            txn = Transaction("write", msg, decision, upgrade_grant)
-            txn.pending_inv.update(targets)
-            entry.busy = True
-            entry.txn = txn
-            txn.inv_sent_at = self.sim.now
-            if self._wc:
-                # Parallel grant: respond now, forward one ACK_DONE later.
-                txn.wc_parallel = True
-                self._grant_write(
-                    entry, msg, decision, upgrade_grant, inval_wait=0, acks_pending=True
-                )
-            for target in targets:
-                self._send_inv(msg.block, target)
-            return
-        # Idle
-        self._grant_write(entry, msg, decision, upgrade_grant=False, inval_wait=0)
 
     # ------------------------------------------------------------------
     # Grants
@@ -325,133 +570,15 @@ class DirectoryController:
             self.obs.inv_sent(self.node, block, target)
         self.network.send(Message(MsgKind.INV, block, src=self.node, dst=target))
 
-    # ------------------------------------------------------------------
-    # Notifications and acknowledgments
-    # ------------------------------------------------------------------
-    def _notification(self, msg):
-        entry = self.entry_for(msg.block)
-        txn = entry.txn
-        if entry.busy and txn is not None:
-            src = msg.src
-            if txn.waiting_wb and src == entry.owner and msg.kind in (
-                MsgKind.WB,
-                MsgKind.SI_NOTIFY,
-                MsgKind.REPL,
-            ):
-                self._apply_notification(entry, msg)
-                request = txn.msg
-                entry.busy = False
-                entry.txn = None
-                self._start(entry, request)
-                self._drain_deferred(entry)
-                return
-            if src in txn.pending_inv and msg.kind in (
-                MsgKind.INV_ACK,
-                MsgKind.INV_ACK_DATA,
-            ):
-                txn.pending_inv.discard(src)
-                if self.obs is not None:
-                    self.obs.inv_acked(self.node, msg.block, src)
-                if msg.carries_data:
-                    entry.data = msg.data
-                elif txn.migratory_read and entry.owner == src:
-                    # The previous "migratory" owner never wrote its
-                    # exclusive copy: the prediction was wrong.
-                    entry.migratory = False
-                if entry.owner == src:
-                    entry.owner = None
-                entry.remove_sharer(src)
-                if not txn.pending_inv:
-                    self._complete(entry)
-                return
-            if msg.kind in (MsgKind.INV_ACK, MsgKind.INV_ACK_DATA):
-                # An acknowledgment from a node this transaction is not
-                # waiting on cannot occur (acks pair 1:1 with INVs and the
-                # block's transactions serialize).
-                raise ProtocolError(
-                    f"unexpected acknowledgment from node {src} for block "
-                    f"{msg.block} (transaction pending on {sorted(txn.pending_inv)})"
-                )
-            # A racing notification (replacement or self-invalidation):
-            # apply it, but keep waiting for the actual acknowledgments.
-            self._apply_notification(entry, msg)
-            return
-        if msg.kind in (MsgKind.INV_ACK, MsgKind.INV_ACK_DATA):
-            # Acks pair 1:1 with INVs, so one can never outlive its
-            # transaction.
-            raise ProtocolError(
-                f"acknowledgment for block {msg.block} from node {msg.src} "
-                "with no transaction in flight"
-            )
-        self._apply_notification(entry, msg)
-
-    def _apply_notification(self, entry, msg):
-        src = msg.src
-        if msg.carries_data:  # WB or dirty SI_NOTIFY: an exclusive copy returns
-            if entry.owner != src:
-                self.stale_messages += 1
-                return
-            entry.data = msg.data
-            entry.owner = None
-            entry.state = DIR_IDLE
-            if msg.kind is MsgKind.SI_NOTIFY:
-                entry.idle_flavor = FLAVOR_X
-            else:
-                entry.idle_flavor = FLAVOR_SI if msg.si_marked else FLAVOR_PLAIN
-            return
-        # Clean shared copy leaving the cache.
-        if entry.owner == src:
-            # Defensive: a clean notification from the exclusive owner
-            # (the protocol writes on every exclusive grant, so this should
-            # not occur, but dropping the owner keeps the entry consistent).
-            entry.owner = None
-            entry.state = DIR_IDLE
-            entry.idle_flavor = (
-                FLAVOR_X if msg.kind is MsgKind.SI_NOTIFY
-                else (FLAVOR_SI if msg.si_marked else FLAVOR_PLAIN)
-            )
-            return
-        if not entry.has_sharer(src):
-            self.stale_messages += 1
-            return
-        entry.remove_sharer(src)
-        if entry.sharers == 0 and entry.state == DIR_SHARED:
-            entry.state = DIR_IDLE
-            entry.shared_si = False
-            if msg.kind is MsgKind.SI_NOTIFY:
-                entry.idle_flavor = FLAVOR_S
-            else:
-                entry.idle_flavor = FLAVOR_SI if msg.si_marked else FLAVOR_PLAIN
-
-    def _complete(self, entry):
-        txn = entry.txn
-        inval_wait = self.sim.now - txn.inv_sent_at
-        entry.busy = False
-        entry.txn = None
-        if txn.wc_parallel:
-            self.network.send(
-                Message(
-                    MsgKind.ACK_DONE,
-                    txn.msg.block,
-                    src=self.node,
-                    dst=txn.msg.src,
-                )
-            )
-            if self.obs is not None:
-                self.obs.dir_txn_end(self.node, txn.msg.block)
-        elif txn.kind == "read":
-            self._grant_read(entry, txn.msg, txn.decision, inval_wait)
-        else:
-            self._grant_write(entry, txn.msg, txn.decision, txn.upgrade_grant, inval_wait)
-        self._drain_deferred(entry)
-
     def _drain_deferred(self, entry):
         while entry.deferred and not entry.busy:
-            self._start(entry, entry.deferred.popleft())
+            msg = entry.deferred.popleft()
+            self._dispatch(_EVENTS[msg.kind], _Ctx(self, entry, msg))
 
     # ------------------------------------------------------------------
     def deadlock_diagnostic(self):
-        busy = [block for block, entry in self.entries.items() if entry.busy]
-        if busy:
-            return f"dir{self.node}: busy entries for blocks {busy[:8]}"
-        return None
+        return directory_diagnostic(self)
+
+
+#: DirAction -> unbound action method, resolved once at import time.
+_ACTIONS = {action: getattr(DirectoryController, f"_act_{action.value}") for action in A}

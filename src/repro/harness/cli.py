@@ -17,6 +17,9 @@ Examples::
                                      # instrumented run: Perfetto trace +
                                      # metrics dump (see docs/OBSERVABILITY.md)
     dsi-sim trace em3d --block 130   # per-block coherence timeline
+    dsi-sim check-protocol           # model-check every protocol variant
+    dsi-sim check-protocol --variant 'WC+DSI(V)+FIFO+TO'
+                                     # one variant, with its trace on failure
     dsi-sim gen --workload sparse -o sparse.npz
                                      # export a workload trace for reuse
     dsi-sim run --trace sparse.npz --protocol W
@@ -30,10 +33,13 @@ from the finished records.
 """
 
 import argparse
+import dataclasses
 import json
+import os
 import sys
 import time
 
+from repro.coherence.variants import Bugs
 from repro.harness import ablations, figure2, figure3, figure4, figure5, figure6, table2, table3
 from repro.harness.configs import (
     PROTOCOLS,
@@ -89,7 +95,7 @@ def build_parser():
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'all', 'ablations', 'bars', "
-        "'run', 'trace', or 'gen'",
+        "'run', 'trace', 'gen', or 'check-protocol'",
     )
     parser.add_argument(
         "target",
@@ -167,6 +173,42 @@ def build_parser():
         metavar="N",
         help="trace: restrict the message log to block N (repeatable)",
     )
+    # check-protocol options
+    parser.add_argument(
+        "--variant",
+        metavar="SUBSTR",
+        help="check-protocol: only variants whose label contains SUBSTR "
+        "(e.g. 'WC+DSI(V)', '+MIG')",
+    )
+    parser.add_argument(
+        "--bug",
+        choices=tuple(f.name for f in dataclasses.fields(Bugs)),
+        help="check-protocol: re-introduce a fixed historical race and "
+        "show the checker catching it",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        action="append",
+        metavar="N",
+        help="check-protocol: model size override (repeatable; default "
+        "2 nodes, plus an asymmetric 3-node run for WC variants)",
+    )
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=3,
+        metavar="N",
+        help="check-protocol: per-node processor-op budget used with "
+        "--nodes (default 3)",
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=400_000,
+        metavar="N",
+        help="check-protocol: per-run state cap (default 400000)",
+    )
     return parser
 
 
@@ -189,9 +231,11 @@ def main(argv=None):
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
-        for extra in ("bars", "run", "trace", "gen", "describe"):
+        for extra in ("bars", "run", "trace", "gen", "describe", "check-protocol"):
             print(extra)
         return 0
+    if args.experiment == "check-protocol":
+        return _check_protocol(args)
     if args.experiment == "bars":
         return _bars(args)
     if args.experiment == "run":
@@ -257,6 +301,94 @@ def main(argv=None):
             print()
         print(summary)
     return 0
+
+
+def _row_label(row):
+    guards = f"[{','.join(row.guards)}]" if row.guards else ""
+    return f"{row.state.name}/{row.event.name}{guards}"
+
+
+def _check_protocol(args):
+    """Exhaustively model-check the transition tables of every variant.
+
+    Exit status 1 if any variant has an invariant violation *or* an
+    unreached NORMAL row (coverage regressions count as failures: a row
+    the model cannot reach is either dead or misclassified).
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from functools import partial
+
+    from repro.coherence.explore import check_variant
+    from repro.coherence.variants import NO_BUGS, enumerate_variants
+
+    variants = [v for mig in (False, True) for v in enumerate_variants(mig)]
+    if args.variant:
+        variants = [v for v in variants if args.variant in v.describe()]
+        if not variants:
+            print(f"no variant label contains {args.variant!r}", file=sys.stderr)
+            return 2
+    bugs = NO_BUGS
+    if args.bug:
+        bugs = dataclasses.replace(NO_BUGS, **{args.bug: True})
+    configs = tuple((n, args.ops) for n in args.nodes) if args.nodes else None
+    check = partial(
+        check_variant, bugs=bugs, configs=configs, max_states=args.max_states
+    )
+    jobs = args.jobs or os.cpu_count() or 1
+    started = time.time()
+    if jobs > 1 and len(variants) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(variants))) as pool:
+            reports = list(pool.map(check, variants))
+    else:
+        reports = [check(v) for v in variants]
+    wall = time.time() - started
+    payload = []
+    for report in reports:
+        uncovered = [
+            _row_label(t)
+            for t in report.uncovered_cache + report.uncovered_dir
+        ]
+        payload.append(
+            {
+                "variant": report.describe(),
+                "ok": report.ok,
+                "states": report.states,
+                "violation": report.violation,
+                "trace": list(report.trace),
+                "uncovered": uncovered,
+            }
+        )
+    failures = sum(1 for entry in payload if not entry["ok"])
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "bugs": dataclasses.asdict(bugs),
+                    "reports": payload,
+                    "meta": {
+                        "variants": len(payload),
+                        "failures": failures,
+                        "wall_seconds": round(wall, 3),
+                    },
+                },
+                indent=2,
+            )
+        )
+    else:
+        for entry in payload:
+            mark = "ok  " if entry["ok"] else "FAIL"
+            print(f"{mark} {entry['variant']:30s} {entry['states']:>8d} states")
+            if entry["violation"]:
+                print(f"     violation: {entry['violation']}")
+                for line in entry["trace"]:
+                    print(f"       {line}")
+            for label in entry["uncovered"]:
+                print(f"     unreached NORMAL row: {label}")
+        print(
+            f"# {len(payload)} variants, {failures} failures in {wall:.1f}s "
+            f"(jobs={jobs})"
+        )
+    return 1 if failures else 0
 
 
 def _bars(args):

@@ -61,6 +61,7 @@ class Instrument:
         self.n_processors = 0
         self.counts = Counter()
         self.message_kinds = Counter()
+        self.transitions = Counter()
         self.spans = SpanTracker(max_spans=max_spans)
         self.latency = {category: Histogram(category) for category in CATEGORIES}
         self.fifo_series = {}
@@ -132,6 +133,20 @@ class Instrument:
         self.counts["self_invalidate"] += 1
         if not at_sync:
             self.counts["self_invalidate_early"] += 1
+
+    # ------------------------------------------------------------------
+    # Protocol transitions (the coherence tables' single probe site)
+    # ------------------------------------------------------------------
+    def protocol_transition(self, side, node, block, state, event, next_state):
+        """One table row fired at a controller.
+
+        ``side`` is "cache" or "dir"; the states/events are the symbolic
+        names from :mod:`repro.coherence.events`.  Aggregated per
+        (side, state, event, next_state) — the histogram of which protocol
+        rows actually fire in a run.
+        """
+        self.counts["protocol_transition"] += 1
+        self.transitions[(side, state, event, next_state)] += 1
 
     # ------------------------------------------------------------------
     # MSHR probes (cache-side coherence transactions)

@@ -1,4 +1,4 @@
-"""The per-node cache controller.
+"""The per-node cache controller (table-driven).
 
 Bridges three worlds:
 
@@ -7,6 +7,17 @@ Bridges three worlds:
 * the **cache** (tags, LRU, s bits, versions);
 * the **network** (requests out, responses/invalidations in; every
   incoming message occupies the controller for ``cache_ctrl_cycles``).
+
+Every *state decision* lives in the declarative transition table built by
+:func:`repro.coherence.cache_table.cache_table` for this node's
+:class:`~repro.coherence.variants.ProtocolVariant`.  The controller keeps
+only the plumbing: message dispatch, MSHR bookkeeping, the write buffer,
+fills/evictions, and one bound method per symbolic
+:class:`~repro.coherence.events.CacheAction`.  ``_dispatch`` derives the
+block's symbolic state (MSHR first — a transaction in flight defines the
+transient state — then the frame), asks the table for the row, fires the
+single ``protocol_transition`` probe, and executes the row's actions in
+order.
 
 Consistency-model behaviour:
 
@@ -28,6 +39,12 @@ directory, the processor stalling until the last notification is
 injected).
 """
 
+from repro.coherence.cache_table import cache_table
+from repro.coherence.diagnostics import cache_diagnostic
+from repro.coherence.events import CacheAction as A
+from repro.coherence.events import CacheEvent as E
+from repro.coherence.events import CacheState as CS
+from repro.coherence.variants import ProtocolVariant
 from repro.config import Consistency, IdentifyScheme
 from repro.core.identify import InvalidationHistory
 from repro.core.mechanisms import make_mechanism
@@ -80,6 +97,56 @@ class Mshr:
         self.pending_write = None  # (stamp,) write arrived while a read was in flight
 
 
+class _Ctx:
+    """One dispatch's context: the table's guards are lazy properties."""
+
+    __slots__ = ("ctrl", "block", "frame", "mshr", "msg", "stamp", "on_done",
+                 "blocking", "sync", "victim", "notices", "inv_data")
+
+    def __init__(self, ctrl, block, frame=None, mshr=None, msg=None, stamp=None,
+                 on_done=None, blocking=False, sync=False, victim=None,
+                 notices=None):
+        self.ctrl = ctrl
+        self.block = block
+        self.frame = frame
+        self.mshr = mshr
+        self.msg = msg
+        self.stamp = stamp
+        self.on_done = on_done
+        self.blocking = blocking  # a blocking store (SC store / sync_write)
+        self.sync = sync
+        self.victim = victim
+        self.notices = notices
+        self.inv_data = 0
+
+    # Guards ------------------------------------------------------------
+    @property
+    def frame_valid(self):
+        return self.frame is not None and self.frame.valid
+
+    @property
+    def dirty(self):
+        if self.victim is not None:
+            return self.victim.dirty
+        return self.frame is not None and self.frame.dirty
+
+    @property
+    def pending_write(self):
+        return self.mshr is not None and self.mshr.pending_write is not None
+
+    @property
+    def wb_full(self):
+        return self.ctrl.write_buffer.full
+
+    @property
+    def tearoff_grant(self):
+        return self.msg.tearoff
+
+    @property
+    def acks_pending_grant(self):
+        return self.msg.acks_pending
+
+
 class CacheController:
     """Cache + controller + write buffer for one node."""
 
@@ -93,6 +160,8 @@ class CacheController:
         self.misses = misses
         self.monitor = monitor
         self.obs = instrument
+        self.variant = ProtocolVariant.from_config(config)
+        self.table = cache_table(self.variant)
         self.cache = Cache(config, node)
         self.resource = Resource(sim, name=f"cc{node}")
         self.mshrs = {}
@@ -124,12 +193,70 @@ class CacheController:
         self._tearoff_frame = None
 
     # ------------------------------------------------------------------
+    # Symbolic state derivation and dispatch
+    # ------------------------------------------------------------------
+    def symbolic_state(self, block, frame=None, touch=False):
+        """The block's symbolic protocol state (diagnostics/tests).
+
+        ``frame`` may be passed by callers that already hold the block's
+        frame — the dispatch paths do, so the caller's own LRU touch is
+        the only one that happens.
+        """
+        if frame is None:
+            frame = self.cache.lookup(block, touch=touch)
+        return self._derive_state(block, frame)
+
+    def _derive_state(self, block, frame):
+        mshr = self.mshrs.get(block)
+        if mshr is not None:
+            if mshr.acks_pending:
+                return CS.E_A
+            if mshr.kind == MSHR_READ:
+                return CS.IS_D
+            if mshr.kind == MSHR_WRITE:
+                return CS.IM_D
+            return CS.SM_WI if mshr.invalidated else CS.SM_W
+        return self._frame_state(frame)
+
+    @staticmethod
+    def _frame_state(frame):
+        """Stable state of a frame (or eviction victim) alone."""
+        if frame is None or not getattr(frame, "valid", True):
+            return CS.I
+        if frame.tearoff:
+            return CS.T
+        if frame.state == EXCLUSIVE:
+            return CS.E
+        return CS.S
+
+    def _dispatch(self, event, ctx, state=None):
+        """Derive state, decide on the table row, execute its actions."""
+        if state is None:
+            ctx.mshr = self.mshrs.get(ctx.block)
+            state = self._derive_state(ctx.block, ctx.frame)
+        row = self.table.decide(state, event, ctx)
+        if self.obs is not None:
+            self.obs.protocol_transition(
+                "cache", self.node, ctx.block, state.value, event.value,
+                (row.next_state or state).value,
+            )
+        if row.error is not None:
+            raise ProtocolError(
+                f"cache {self.node}: {row.error} "
+                f"(block {ctx.block}, state {state.value})"
+            )
+        for action in row.actions:
+            _ACTIONS[action](self, ctx)
+        return row.result
+
+    # ------------------------------------------------------------------
     # Processor interface
     # ------------------------------------------------------------------
     def try_read(self, block):
         """Fast path: perform a read *hit* with no simulated latency beyond
         the hit cost (which the processor folds into computation).  Returns
-        False on a miss without issuing anything."""
+        False on a miss without issuing anything (mirrors the table's
+        READ_HIT rows; misses go through ``read``)."""
         frame = self.cache.lookup(block)
         if frame is None:
             return False
@@ -141,7 +268,8 @@ class CacheController:
     def try_write(self, block, stamp):
         """Fast path: absorb a write that needs no transaction — an
         exclusive hit, or (WC) a coalescing merge into an outstanding
-        entry.  Returns False otherwise, issuing nothing."""
+        entry (the table's WRITE_HIT / WB_MERGE rows).  Returns False
+        otherwise, issuing nothing."""
         frame = self.cache.lookup(block)
         if frame is not None and frame.state == EXCLUSIVE:
             self._apply_write(frame, stamp)
@@ -166,24 +294,7 @@ class CacheController:
         """Processor load.  Returns HIT, or WAIT (``on_done(inval_wait,
         reason)`` fires later; reason is "miss" or "read_wb")."""
         frame = self.cache.lookup(block)
-        if frame is not None:
-            if self.monitor:
-                self.monitor.on_read(self.node, block, frame.data)
-            self.misses.bump("read_hits")
-            return HIT
-        mshr = self.mshrs.get(block)
-        if mshr is not None:
-            if mshr.kind == MSHR_READ:
-                raise ProtocolError(f"second read issued for block {block}")
-            # Outstanding write miss: wait for the data ("read wb").
-            mshr.read_waiters.append(on_done)
-            return WAIT
-        self.misses.bump("read_misses")
-        self._drop_sc_tearoff()
-        mshr = Mshr(MSHR_READ, block, on_done=on_done)
-        self._register_mshr(mshr)
-        self._issue(MsgKind.GETS, block)
-        return WAIT
+        return self._dispatch(E.LOAD, _Ctx(self, block, frame=frame, on_done=on_done))
 
     def write(self, block, stamp, on_done):
         """Processor store.
@@ -195,87 +306,17 @@ class CacheController:
         write has been accepted.
         """
         frame = self.cache.lookup(block)
-        if frame is not None and frame.state == EXCLUSIVE:
-            self._apply_write(frame, stamp)
-            self.misses.bump("write_hits")
-            return DONE
-        if self._wc:
-            return self._wc_write(block, stamp, frame, on_done)
-        return self._sc_write(block, stamp, frame, on_done, sync=False)
+        ctx = _Ctx(self, block, frame=frame, stamp=stamp, on_done=on_done,
+                   blocking=not self._wc)
+        return self._dispatch(E.STORE, ctx)
 
     def sync_write(self, block, stamp, on_done):
         """A swap-like write (lock word): always synchronous, even under
         WC — the processor stalls until the write is globally performed."""
         frame = self.cache.lookup(block)
-        if frame is not None and frame.state == EXCLUSIVE:
-            self._apply_write(frame, stamp)
-            self.misses.bump("write_hits")
-            return DONE
-        return self._sc_write(block, stamp, frame, on_done, sync=True)
-
-    def _sc_write(self, block, stamp, frame, on_done, sync):
-        if block in self.mshrs:
-            raise ProtocolError(f"second blocking write issued for block {block}")
-        self.misses.bump("write_misses")
-        self._drop_sc_tearoff()
-        if frame is not None and frame.state == SHARED and not frame.tearoff:
-            mshr = Mshr(MSHR_UPGRADE, block, on_done=on_done, stamp=stamp, frame=frame, sync=sync)
-            frame.pinned = True
-            self.misses.bump("upgrades")
-            kind = MsgKind.UPGRADE
-        else:
-            if frame is not None:  # a tear-off copy is invisible to the map
-                self.cache.invalidate(frame)
-                if self.monitor:
-                    self.monitor.on_invalidate(self.node, block)
-            mshr = Mshr(MSHR_WRITE, block, on_done=on_done, stamp=stamp, sync=sync)
-            kind = MsgKind.GETX
-        self._register_mshr(mshr)
-        self._issue(kind, block)
-        return WAIT
-
-    def _wc_write(self, block, stamp, frame, on_done):
-        mshr = self.mshrs.get(block)
-        if mshr is not None:
-            if mshr.kind in (MSHR_WRITE, MSHR_UPGRADE):
-                # Coalesce into the outstanding entry.
-                self.write_buffer.merge(block, stamp)
-                mshr.stamp = stamp
-                self.misses.bump("write_hits")
-                return DONE
-            # A read is in flight; remember the write, upgrade after the fill.
-            if mshr.pending_write is not None:
-                self.write_buffer.merge(block, stamp)
-                mshr.pending_write = (stamp,)
-                self.misses.bump("write_hits")
-                return DONE
-            if self.write_buffer.full:
-                self.write_buffer.when_space(lambda: self._wc_write_retry(block, stamp, on_done))
-                return WAIT
-            self.write_buffer.allocate(block, stamp, self.sim.now)
-            mshr.pending_write = (stamp,)
-            self.misses.bump("write_misses")
-            return DONE
-        if self.write_buffer.full:
-            self.write_buffer.when_space(lambda: self._wc_write_retry(block, stamp, on_done))
-            return WAIT
-        self.misses.bump("write_misses")
-        self.write_buffer.allocate(block, stamp, self.sim.now)
-        if frame is not None and frame.state == SHARED and not frame.tearoff:
-            mshr = Mshr(MSHR_UPGRADE, block, stamp=stamp, frame=frame)
-            frame.pinned = True
-            self.misses.bump("upgrades")
-            kind = MsgKind.UPGRADE
-        else:
-            if frame is not None:
-                self.cache.invalidate(frame)
-                if self.monitor:
-                    self.monitor.on_invalidate(self.node, block)
-            mshr = Mshr(MSHR_WRITE, block, stamp=stamp)
-            kind = MsgKind.GETX
-        self._register_mshr(mshr)
-        self._issue(kind, block)
-        return DONE
+        ctx = _Ctx(self, block, frame=frame, stamp=stamp, on_done=on_done,
+                   blocking=True, sync=True)
+        return self._dispatch(E.SYNC_STORE, ctx)
 
     def _wc_write_retry(self, block, stamp, on_done):
         status = self.write(block, stamp, on_done)
@@ -309,19 +350,12 @@ class CacheController:
         cost = 1 if tearoff_frames else 0
         cost += len(tracked) * self.config.si_flush_cycles_per_block
         notices = []
-        for frame in tearoff_frames:
-            if self.monitor:
-                self.monitor.on_invalidate(self.node, frame.tag)
-            if self.obs is not None:
-                self.obs.cache_self_invalidate(self.node, frame.tag, at_sync=True)
-            self.cache.invalidate(frame)
-        for frame in tracked:
-            notices.append(self._si_notice(frame))
-            if self.monitor:
-                self.monitor.on_invalidate(self.node, frame.tag)
-            if self.obs is not None:
-                self.obs.cache_self_invalidate(self.node, frame.tag, at_sync=True)
-            self.cache.invalidate(frame)
+        # States are derived up front: a FIFO can list the same frame twice,
+        # and the duplicate must replay the same row it matched while valid.
+        ordered = [(f, self._frame_state(f)) for f in tearoff_frames + tracked]
+        for frame, state in ordered:
+            ctx = _Ctx(self, frame.tag, frame=frame, notices=notices)
+            self._dispatch(E.SI_SYNC, ctx, state=state)
         self.resource.submit(cost, self._flush_send, notices, on_done)
 
     def _si_notice(self, frame):
@@ -353,29 +387,13 @@ class CacheController:
             self.network.send(msg, on_injected=injected)
 
     def _self_invalidate_now(self, frame):
-        """FIFO overflow: invalidate one block immediately (no stall)."""
-        if not frame.valid or frame.pinned:
-            return
-        if frame.tag in self.mshrs:
-            # A transaction for this block is still in flight (e.g. the
-            # DATA_EX fill that triggered this overflow via a stale FIFO
-            # entry for the same tag).  Invalidating now would yank the
-            # copy out from under the grant; keep it — the s bit stays
-            # set, so the block still dies at the next sync-point flush.
-            return
-        self.misses.bump("self_invalidations")
-        notice = None if frame.tearoff else self._si_notice(frame)
-        if self.monitor:
-            self.monitor.on_invalidate(self.node, frame.tag)
-        if self.obs is not None:
-            self.obs.cache_self_invalidate(self.node, frame.tag, at_sync=False)
-        self.cache.invalidate(frame)
-        if notice is not None:
-            self.resource.submit(
-                self.config.si_flush_cycles_per_block,
-                self.network.send,
-                notice,
-            )
+        """FIFO overflow: invalidate one block immediately (no stall).
+
+        The table keeps the copy when its transaction is still in flight
+        (the IM_D/SM_W/E_A "keep" rows — the s bit stays set, so the block
+        still dies at the next sync-point flush) or when the FIFO entry is
+        stale."""
+        self._dispatch(E.SI_OVERFLOW, _Ctx(self, frame.tag, frame=frame))
 
     # ------------------------------------------------------------------
     # Outgoing requests
@@ -411,32 +429,18 @@ class CacheController:
     def _process(self, msg):
         kind = msg.kind
         if kind is MsgKind.DATA:
-            self._handle_data(msg)
+            self._dispatch(E.DATA, _Ctx(self, msg.block, msg=msg))
         elif kind is MsgKind.DATA_EX:
-            self._handle_data_ex(msg)
+            self._dispatch(E.DATA_EX, _Ctx(self, msg.block, msg=msg))
         elif kind is MsgKind.UPGRADE_ACK:
-            self._handle_upgrade_ack(msg)
+            self._dispatch(E.UPGRADE_ACK, _Ctx(self, msg.block, msg=msg))
         elif kind is MsgKind.ACK_DONE:
-            self._handle_ack_done(msg)
+            self._dispatch(E.ACK_DONE, _Ctx(self, msg.block, msg=msg))
         elif kind is MsgKind.INV:
-            self._handle_inv(msg)
+            frame = self.cache.lookup(msg.block, touch=False)
+            self._dispatch(E.INV, _Ctx(self, msg.block, frame=frame, msg=msg))
         else:
             raise ProtocolError(f"cache {self.node} received unexpected {msg!r}")
-
-    def _handle_data(self, msg):
-        mshr = self.mshrs.pop(msg.block, None)
-        if mshr is None or mshr.kind != MSHR_READ:
-            raise ProtocolError(f"DATA for block {msg.block} without a read MSHR")
-        self._close_mshr(msg.block)
-        self._fill(
-            msg.block,
-            SHARED,
-            msg.data,
-            version=msg.version,
-            si=msg.si,
-            tearoff=msg.tearoff,
-            then=lambda frame: self._read_complete(mshr, msg, frame),
-        )
 
     def _read_complete(self, mshr, msg, frame):
         if self.monitor:
@@ -446,89 +450,9 @@ class CacheController:
         if mshr.pending_write is not None:
             # A WC write arrived while the read was in flight: upgrade now.
             (stamp,) = mshr.pending_write
-            if frame.state == EXCLUSIVE:
-                # Migratory grant: the copy is already exclusive.
-                self._apply_write(frame, stamp)
-                if self.write_buffer is not None and self.write_buffer.get(msg.block) is not None:
-                    self.write_buffer.mark_data_arrived(msg.block)
-                    self.write_buffer.retire(msg.block)
-                return
-            if frame.tearoff:
-                # A tear-off copy is invisible to the full map; request a
-                # fresh exclusive copy instead of upgrading.
-                if self.monitor:
-                    self.monitor.on_invalidate(self.node, msg.block)
-                self.cache.invalidate(frame)
-                follow_on = Mshr(MSHR_WRITE, msg.block, stamp=stamp)
-                kind = MsgKind.GETX
-            else:
-                follow_on = Mshr(MSHR_UPGRADE, msg.block, stamp=stamp, frame=frame)
-                frame.pinned = True
-                self.misses.bump("upgrades")
-                kind = MsgKind.UPGRADE
-            self._register_mshr(follow_on)
-            self._issue(kind, msg.block)
-
-    def _handle_data_ex(self, msg):
-        mshr = self.mshrs.get(msg.block)
-        if mshr is None:
-            raise ProtocolError(f"DATA_EX for block {msg.block} without an MSHR")
-        if mshr.kind == MSHR_READ:
-            # Migratory optimization: the directory answered a read with an
-            # exclusive (clean) copy, anticipating the write to follow.
-            self.mshrs.pop(msg.block)
-            self._close_mshr(msg.block)
-            self._fill(
-                msg.block,
-                EXCLUSIVE,
-                msg.data,
-                version=msg.version,
-                si=msg.si,
-                dirty=False,
-                then=lambda frame: self._read_complete(mshr, msg, frame),
-            )
-            return
-        if mshr.kind == MSHR_UPGRADE and mshr.frame is not None:
-            mshr.frame.pinned = False
-            if mshr.frame.valid and mshr.frame.tag == msg.block:
-                # Defensive: the S copy survived but the directory answered
-                # with data anyway; drop it before re-filling.
-                if self.monitor:
-                    self.monitor.on_invalidate(self.node, msg.block)
-                self.cache.invalidate(mshr.frame)
-            self.retry_deferred_fills()
-        self._fill(
-            msg.block,
-            EXCLUSIVE,
-            mshr.stamp,
-            version=msg.version,
-            si=msg.si,
-            dirty=True,
-            then=lambda frame: self._write_granted(mshr, msg, frame),
-        )
-
-    def _handle_upgrade_ack(self, msg):
-        mshr = self.mshrs.get(msg.block)
-        if mshr is None or mshr.kind != MSHR_UPGRADE:
-            raise ProtocolError(f"UPGRADE_ACK for block {msg.block} without an upgrade MSHR")
-        if mshr.invalidated:
-            raise ProtocolError(
-                f"UPGRADE_ACK for block {msg.block} after its copy was invalidated"
-            )
-        frame = mshr.frame
-        frame.pinned = False
-        self.retry_deferred_fills()
-        frame.state = EXCLUSIVE
-        frame.version = msg.version
-        if self.monitor:
-            self.monitor.on_fill(self.node, msg.block, EXCLUSIVE, frame.data, False)
-        self._apply_write(frame, mshr.stamp)
-        if msg.si:
-            self.cache.mark_si(frame)
-            self._after_si_fill(frame)
-        else:
-            self.cache.mark_si(frame, marked=False)
-        self._write_granted(mshr, msg, frame)
+            ctx = _Ctx(self, msg.block, frame=frame, stamp=stamp)
+            self._dispatch(E.WRITE_AFTER_READ, ctx,
+                           state=self._frame_state(frame))
 
     def _write_granted(self, mshr, msg, frame):
         if self.monitor and msg.kind is not MsgKind.UPGRADE_ACK:
@@ -551,38 +475,6 @@ class CacheController:
             self.write_buffer.retire(mshr.block)
         if mshr.on_done is not None:
             mshr.on_done(inval_wait, "miss")
-
-    def _handle_ack_done(self, msg):
-        mshr = self.mshrs.get(msg.block)
-        if mshr is None or not mshr.acks_pending:
-            raise ProtocolError(f"ACK_DONE for block {msg.block} without a waiting MSHR")
-        self._write_complete(mshr, 0)
-
-    def _handle_inv(self, msg):
-        block = msg.block
-        frame = self.cache.lookup(block, touch=False)
-        mshr = self.mshrs.get(block)
-        if frame is None:
-            # The copy already left (replacement or self-invalidation in
-            # flight).  Acknowledge anyway so the directory can make progress.
-            self._reply(MsgKind.INV_ACK, msg)
-            return
-        self.misses.bump("explicit_invalidations")
-        if self.history is not None:
-            self.history.record(block)
-        # A migratory (clean) exclusive copy acknowledges without data —
-        # the directory still holds the current contents.
-        dirty = frame.dirty
-        data = frame.data
-        if self.monitor:
-            self.monitor.on_invalidate(self.node, block)
-        self.cache.invalidate(frame)
-        if mshr is not None and mshr.kind == MSHR_UPGRADE:
-            mshr.invalidated = True  # the directory will answer with DATA_EX
-        if dirty:
-            self._reply(MsgKind.INV_ACK_DATA, msg, data=data, dirty=True)
-        else:
-            self._reply(MsgKind.INV_ACK, msg)
 
     def _reply(self, kind, msg, data=0, dirty=False):
         self.network.send(
@@ -644,13 +536,10 @@ class CacheController:
             return
         frame, block = self._tearoff_frame
         self._tearoff_frame = None
-        if frame.valid and frame.tearoff and frame.tag == block:
-            if self.monitor:
-                self.monitor.on_invalidate(self.node, block)
-            if self.obs is not None:
-                self.obs.cache_self_invalidate(self.node, block, at_sync=False)
-            self.misses.bump("self_invalidations")
-            self.cache.invalidate(frame)
+        state = (
+            CS.T if frame.valid and frame.tearoff and frame.tag == block else CS.I
+        )
+        self._dispatch(E.SC_DROP, _Ctx(self, block, frame=frame), state=state)
 
     def _after_si_fill(self, frame):
         self.misses.bump("si_marked_fills")
@@ -668,43 +557,288 @@ class CacheController:
             self._fill(block, state, data, version=version, si=si, tearoff=tearoff, dirty=dirty, then=then)
 
     def _evict(self, victim):
+        ctx = _Ctx(self, victim.block, victim=victim)
+        self._dispatch(E.EVICT, ctx, state=self._frame_state(victim))
+
+    # ------------------------------------------------------------------
+    # Action implementations (one bound method per CacheAction)
+    # ------------------------------------------------------------------
+    def _act_read_hit(self, ctx):
+        if self.monitor:
+            self.monitor.on_read(self.node, ctx.block, ctx.frame.data)
+        self.misses.bump("read_hits")
+
+    def _act_queue_read_waiter(self, ctx):
+        ctx.mshr.read_waiters.append(ctx.on_done)
+
+    def _act_count_read_miss(self, ctx):
+        self.misses.bump("read_misses")
+
+    def _act_count_write_miss(self, ctx):
+        self.misses.bump("write_misses")
+
+    def _act_drop_sc_tearoff(self, ctx):
+        self._drop_sc_tearoff()
+
+    def _act_alloc_mshr_read(self, ctx):
+        ctx.mshr = Mshr(MSHR_READ, ctx.block, on_done=ctx.on_done)
+        self._register_mshr(ctx.mshr)
+
+    def _act_alloc_mshr_write(self, ctx):
+        ctx.mshr = Mshr(
+            MSHR_WRITE,
+            ctx.block,
+            on_done=ctx.on_done if ctx.blocking else None,
+            stamp=ctx.stamp,
+            sync=ctx.sync,
+        )
+        self._register_mshr(ctx.mshr)
+
+    def _act_pin_alloc_mshr_upgrade(self, ctx):
+        mshr = Mshr(
+            MSHR_UPGRADE,
+            ctx.block,
+            on_done=ctx.on_done if ctx.blocking else None,
+            stamp=ctx.stamp,
+            frame=ctx.frame,
+            sync=ctx.sync,
+        )
+        ctx.frame.pinned = True
+        self.misses.bump("upgrades")
+        self._register_mshr(mshr)
+        ctx.mshr = mshr
+
+    def _act_send_gets(self, ctx):
+        self._issue(MsgKind.GETS, ctx.block)
+
+    def _act_send_getx(self, ctx):
+        self._issue(MsgKind.GETX, ctx.block)
+
+    def _act_send_upgrade(self, ctx):
+        self._issue(MsgKind.UPGRADE, ctx.block)
+
+    def _act_write_hit(self, ctx):
+        self._apply_write(ctx.frame, ctx.stamp)
+        self.misses.bump("write_hits")
+
+    def _act_wb_merge(self, ctx):
+        self.write_buffer.merge(ctx.block, ctx.stamp)
+        ctx.mshr.stamp = ctx.stamp
+        self.misses.bump("write_hits")
+
+    def _act_wb_merge_pending(self, ctx):
+        self.write_buffer.merge(ctx.block, ctx.stamp)
+        ctx.mshr.pending_write = (ctx.stamp,)
+        self.misses.bump("write_hits")
+
+    def _act_wb_wait_space(self, ctx):
+        block, stamp, on_done = ctx.block, ctx.stamp, ctx.on_done
+        self.write_buffer.when_space(
+            lambda: self._wc_write_retry(block, stamp, on_done)
+        )
+
+    def _act_wb_alloc(self, ctx):
+        self.write_buffer.allocate(ctx.block, ctx.stamp, self.sim.now)
+
+    def _act_wb_alloc_pending(self, ctx):
+        self.write_buffer.allocate(ctx.block, ctx.stamp, self.sim.now)
+        ctx.mshr.pending_write = (ctx.stamp,)
+        self.misses.bump("write_misses")
+
+    def _act_invalidate_copy(self, ctx):
+        if self.monitor:
+            self.monitor.on_invalidate(self.node, ctx.block)
+        self.cache.invalidate(ctx.frame)
+
+    def _act_pop_close_mshr(self, ctx):
+        ctx.mshr = self.mshrs.pop(ctx.block)
+        self._close_mshr(ctx.block)
+
+    def _act_fill_s(self, ctx):
+        mshr, msg = ctx.mshr, ctx.msg
+        self._fill(
+            msg.block,
+            SHARED,
+            msg.data,
+            version=msg.version,
+            si=msg.si,
+            tearoff=msg.tearoff,
+            then=lambda frame: self._read_complete(mshr, msg, frame),
+        )
+
+    def _act_fill_e_clean(self, ctx):
+        mshr, msg = ctx.mshr, ctx.msg
+        self._fill(
+            msg.block,
+            EXCLUSIVE,
+            msg.data,
+            version=msg.version,
+            si=msg.si,
+            dirty=False,
+            then=lambda frame: self._read_complete(mshr, msg, frame),
+        )
+
+    def _act_fill_e_dirty(self, ctx):
+        mshr, msg = ctx.mshr, ctx.msg
+        self._fill(
+            msg.block,
+            EXCLUSIVE,
+            mshr.stamp,
+            version=msg.version,
+            si=msg.si,
+            dirty=True,
+            then=lambda frame: self._write_granted(mshr, msg, frame),
+        )
+
+    def _act_apply_pending_write(self, ctx):
+        self._apply_write(ctx.frame, ctx.stamp)
+
+    def _act_wb_retire(self, ctx):
+        if self.write_buffer is not None and self.write_buffer.get(ctx.block) is not None:
+            self.write_buffer.mark_data_arrived(ctx.block)
+            self.write_buffer.retire(ctx.block)
+
+    def _act_unpin(self, ctx):
+        ctx.mshr.frame.pinned = False
+
+    def _act_drop_stale_upgrade_copy(self, ctx):
+        frame = ctx.mshr.frame
+        if frame.valid and frame.tag == ctx.block:
+            if self.monitor:
+                self.monitor.on_invalidate(self.node, ctx.block)
+            self.cache.invalidate(frame)
+
+    def _act_retry_deferred_fills(self, ctx):
+        self.retry_deferred_fills()
+
+    def _act_promote_to_exclusive(self, ctx):
+        frame = ctx.frame = ctx.mshr.frame
+        frame.state = EXCLUSIVE
+        frame.version = ctx.msg.version
+        if self.monitor:
+            self.monitor.on_fill(self.node, ctx.block, EXCLUSIVE, frame.data, False)
+
+    def _act_apply_mshr_write(self, ctx):
+        self._apply_write(ctx.frame, ctx.mshr.stamp)
+
+    def _act_mark_si_from_grant(self, ctx):
+        if ctx.msg.si:
+            self.cache.mark_si(ctx.frame)
+            self._after_si_fill(ctx.frame)
+        else:
+            self.cache.mark_si(ctx.frame, marked=False)
+
+    def _act_write_granted(self, ctx):
+        self._write_granted(ctx.mshr, ctx.msg, ctx.frame)
+
+    def _act_write_complete(self, ctx):
+        self._write_complete(ctx.mshr, 0)
+
+    def _act_record_inv(self, ctx):
+        self.misses.bump("explicit_invalidations")
+        if self.history is not None:
+            self.history.record(ctx.block)
+        # A migratory (clean) exclusive copy acknowledges without data —
+        # the directory still holds the current contents.
+        ctx.inv_data = ctx.frame.data
+
+    def _act_mark_upgrade_invalidated(self, ctx):
+        ctx.mshr.invalidated = True  # the directory will answer with DATA_EX
+
+    def _act_reply_inv_ack(self, ctx):
+        self._reply(MsgKind.INV_ACK, ctx.msg)
+
+    def _act_reply_inv_ack_data(self, ctx):
+        self._reply(MsgKind.INV_ACK_DATA, ctx.msg, data=ctx.inv_data, dirty=True)
+
+    def _act_si_sync_silent(self, ctx):
+        if self.monitor:
+            self.monitor.on_invalidate(self.node, ctx.block)
+        if self.obs is not None:
+            self.obs.cache_self_invalidate(self.node, ctx.block, at_sync=True)
+        self.cache.invalidate(ctx.frame)
+
+    def _act_si_sync_notify(self, ctx):
+        ctx.notices.append(self._si_notice(ctx.frame))
+        if self.monitor:
+            self.monitor.on_invalidate(self.node, ctx.block)
+        if self.obs is not None:
+            self.obs.cache_self_invalidate(self.node, ctx.block, at_sync=True)
+        self.cache.invalidate(ctx.frame)
+
+    def _act_si_early_silent(self, ctx):
+        self.misses.bump("self_invalidations")
+        if self.monitor:
+            self.monitor.on_invalidate(self.node, ctx.block)
+        if self.obs is not None:
+            self.obs.cache_self_invalidate(self.node, ctx.block, at_sync=False)
+        self.cache.invalidate(ctx.frame)
+
+    def _act_si_early_notify(self, ctx):
+        self.misses.bump("self_invalidations")
+        notice = self._si_notice(ctx.frame)
+        if self.monitor:
+            self.monitor.on_invalidate(self.node, ctx.block)
+        if self.obs is not None:
+            self.obs.cache_self_invalidate(self.node, ctx.block, at_sync=False)
+        self.cache.invalidate(ctx.frame)
+        self.resource.submit(
+            self.config.si_flush_cycles_per_block,
+            self.network.send,
+            notice,
+        )
+
+    def _act_sc_drop_tearoff(self, ctx):
+        if self.monitor:
+            self.monitor.on_invalidate(self.node, ctx.block)
+        if self.obs is not None:
+            self.obs.cache_self_invalidate(self.node, ctx.block, at_sync=False)
+        self.misses.bump("self_invalidations")
+        self.cache.invalidate(ctx.frame)
+
+    def _act_evict_count(self, ctx):
         self.misses.bump("replacements")
         if self.obs is not None:
-            self.obs.cache_evict(self.node, victim.block, victim.dirty)
-        if victim.tearoff:
-            return  # untracked: vanishes silently
+            self.obs.cache_evict(self.node, ctx.victim.block, ctx.victim.dirty)
+
+    def _act_evict_wb(self, ctx):
+        victim = ctx.victim
         if self.monitor:
             self.monitor.on_invalidate(self.node, victim.block)
-        home = self.home_map.home_of(victim.block)
-        if victim.dirty:
-            self.network.send(
-                Message(
-                    MsgKind.WB,
-                    victim.block,
-                    src=self.node,
-                    dst=home,
-                    data=victim.data,
-                    si_marked=victim.s_bit,
-                    dirty=True,
-                    carries_data=True,
-                )
+        self.network.send(
+            Message(
+                MsgKind.WB,
+                victim.block,
+                src=self.node,
+                dst=self.home_map.home_of(victim.block),
+                data=victim.data,
+                si_marked=victim.s_bit,
+                dirty=True,
+                carries_data=True,
             )
-        else:
-            self.network.send(
-                Message(
-                    MsgKind.REPL,
-                    victim.block,
-                    src=self.node,
-                    dst=home,
-                    si_marked=victim.s_bit,
-                )
+        )
+
+    def _act_evict_repl(self, ctx):
+        victim = ctx.victim
+        if self.monitor:
+            self.monitor.on_invalidate(self.node, victim.block)
+        self.network.send(
+            Message(
+                MsgKind.REPL,
+                victim.block,
+                src=self.node,
+                dst=self.home_map.home_of(victim.block),
+                si_marked=victim.s_bit,
             )
+        )
 
     # ------------------------------------------------------------------
     def deadlock_diagnostic(self):
-        if self.mshrs:
-            blocks = list(self.mshrs)[:8]
-            return f"cache{self.node}: outstanding MSHRs for blocks {blocks}"
-        if self.write_buffer is not None and not self.write_buffer.empty:
-            return f"cache{self.node}: write buffer not drained"
-        return None
+        return cache_diagnostic(self)
+
+
+#: CacheAction -> unbound action method, resolved once at import time.
+_ACTIONS = {
+    action: getattr(CacheController, f"_act_{action.value}")
+    for action in A
+}

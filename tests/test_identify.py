@@ -216,6 +216,55 @@ class TestVersionBookkeeping:
         assert entry.tearoff.multi
 
 
+class TestVersionWraparound:
+    """Regression: the 4-bit version field wraps after 16 exclusive
+    grants.  A reader whose retained version is k generations stale must
+    be marked for self-invalidation for *every* k in 1..15 — an ordered
+    comparison (or a missing mask) would falsely skip SI for roughly
+    half of them once the counter wraps past zero."""
+
+    def fresh(self, start_version=9):
+        # Start near the top of the 4-bit range so the wrap happens
+        # mid-sequence, not at the end.
+        policy = VersionIdentify(version_mask=0xF, read_counter_mask=0x3)
+        entry = entry_with(version=start_version)
+        return policy, entry, start_version
+
+    def test_every_stale_generation_marks_read(self):
+        policy, entry, retained = self.fresh()
+        for generation in range(1, 16):
+            policy.on_exclusive_grant(entry, requester=1)
+            decision = policy.classify_read(entry, 0, req_version=retained)
+            assert decision.si, (
+                f"false SI skip at generation {generation} "
+                f"(entry version {entry.version}, retained {retained})"
+            )
+
+    def test_every_stale_generation_marks_write(self):
+        policy, entry, retained = self.fresh()
+        for generation in range(1, 16):
+            policy.on_exclusive_grant(entry, requester=1)
+            assert policy.classify_write(entry, 0, req_version=retained).si, (
+                f"false SI skip at generation {generation}"
+            )
+
+    def test_generation_16_aliases_by_design(self):
+        """After exactly 16 grants the counter aliases back onto the
+        retained version: the scheme accepts this (the paper's trade-off
+        for a 4-bit field) and hands out a normal block."""
+        policy, entry, retained = self.fresh()
+        for _ in range(16):
+            policy.on_exclusive_grant(entry, requester=1)
+        assert entry.version == retained
+        assert not policy.classify_read(entry, 0, req_version=retained).si
+
+    def test_wrap_never_leaves_the_field_width(self):
+        policy, entry, _ = self.fresh(start_version=0)
+        for _ in range(40):
+            policy.on_exclusive_grant(entry, requester=1)
+            assert 0 <= entry.version <= 0xF
+
+
 class TestTearoffTracker:
     def test_multi_requires_two(self):
         tracker = TearoffTracker()

@@ -1,0 +1,27 @@
+"""docs/PROTOCOL.md drift check: the generated transition tables in the
+document must match a fresh render of the spec.  Fails with the
+regeneration command whenever a table edit isn't propagated."""
+
+from repro.coherence import docgen
+
+
+def test_generated_tables_match_spec():
+    path = docgen.default_path()
+    document = path.read_text(encoding="utf-8")
+    assert docgen.BEGIN in document and docgen.END in document
+    assert docgen.inject(document) == document, (
+        "docs/PROTOCOL.md is stale - run: python -m repro.coherence.docgen"
+    )
+
+
+def test_inject_replaces_only_the_generated_block():
+    before = "prose above\n" + docgen.BEGIN + "\nold\n" + docgen.END + "\nprose below\n"
+    after = docgen.inject(before)
+    assert after.startswith("prose above\n")
+    assert after.endswith("\nprose below\n")
+    assert "\nold\n" not in after
+    assert docgen.render() in after
+
+
+def test_render_is_deterministic():
+    assert docgen.render() == docgen.render()
