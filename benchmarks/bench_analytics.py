@@ -1,0 +1,62 @@
+"""Observability overhead benchmarks.
+
+The equivalence tests prove instrumentation cannot change *what* a run
+measures; these benchmarks track what it costs in host time — bare
+machine vs the base :class:`~repro.obs.Instrument` vs the full
+:class:`~repro.obs.AnalyticsInstrument` (classifier + message ledger +
+quiesce audit), plus the classifier and ledger on their own.
+"""
+
+from repro.harness.configs import paper_config
+from repro.network.message import Message, MsgKind
+from repro.obs import AnalyticsInstrument, Instrument, MessageLedger, SharingClassifier
+from repro.system import Machine
+from repro.workloads import em3d
+
+N_PROCS = 4
+
+
+def _program():
+    return em3d(n_procs=N_PROCS, nodes_per_proc=32, iterations=2, private_words=128)
+
+
+def _run(instrument=None):
+    config = paper_config("V", n_procs=N_PROCS)
+    result = Machine(config, _program(), instrument=instrument).run()
+    assert result.exec_time > 0
+    return result
+
+
+def test_run_bare(benchmark):
+    benchmark.pedantic(_run, rounds=3, iterations=1)
+
+
+def test_run_instrumented(benchmark):
+    benchmark.pedantic(lambda: _run(Instrument()), rounds=3, iterations=1)
+
+
+def test_run_analytics(benchmark):
+    benchmark.pedantic(lambda: _run(AnalyticsInstrument()), rounds=3, iterations=1)
+
+
+def test_classifier_feed_rate(benchmark):
+    def feed():
+        classifier = SharingClassifier()
+        for i in range(20_000):
+            classifier.on_access(i, i % 64, i % 7, "write" if i % 5 == 0 else "read")
+        return classifier.report(top=8)
+
+    report = benchmark(feed)
+    assert report["blocks"] == 64
+
+
+def test_ledger_throughput(benchmark):
+    def churn():
+        ledger = MessageLedger()
+        for i in range(20_000):
+            msg = Message(MsgKind.GETS, i % 128, src=i % 4, dst=(i + 1) % 4)
+            ledger.on_send(msg, i)
+            ledger.on_receive(msg, i + 10)
+        return ledger.check_quiesced()
+
+    assert benchmark(churn) == {"sends": 20_000, "receives": 20_000}

@@ -536,6 +536,9 @@ class DirectoryController:
             )
         )
         if self.obs is not None:
+            self.obs.dir_grant(
+                self.node, msg.block, requester, "read", bool(decision.si), tearoff
+            )
             self.obs.dir_txn_end(self.node, msg.block)
 
     def _grant_write(self, entry, msg, decision, upgrade_grant, inval_wait, acks_pending=False):
@@ -562,8 +565,13 @@ class DirectoryController:
                 carries_data=kind is MsgKind.DATA_EX,
             )
         )
-        if self.obs is not None and not acks_pending:
-            self.obs.dir_txn_end(self.node, msg.block)
+        if self.obs is not None:
+            self.obs.dir_grant(
+                self.node, msg.block, requester,
+                "upgrade" if upgrade_grant else "write", bool(decision.si), False,
+            )
+            if not acks_pending:
+                self.obs.dir_txn_end(self.node, msg.block)
 
     def _send_inv(self, block, target):
         if self.obs is not None:

@@ -17,6 +17,13 @@ class ProtocolError(SimulationError):
     """A coherence-protocol invariant was violated."""
 
 
+class AuditError(SimulationError):
+    """The runtime accounting audit (repro.obs.audit) found the machine's
+    observable behaviour inconsistent: a message received but never sent,
+    an invalidation never acknowledged, or directory state diverging from
+    the actual cache contents at quiesce."""
+
+
 class ConfigError(ReproError):
     """A SystemConfig or experiment configuration is invalid."""
 

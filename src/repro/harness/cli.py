@@ -17,6 +17,11 @@ Examples::
                                      # instrumented run: Perfetto trace +
                                      # metrics dump (see docs/OBSERVABILITY.md)
     dsi-sim trace em3d --block 130   # per-block coherence timeline
+    dsi-sim analyze migratory        # sharing-pattern classification +
+                                     # DSI-accuracy report + runtime audit
+    dsi-sim bench --suite quick      # benchmark snapshot -> BENCH_*.json
+    dsi-sim bench --compare old.json new.json --threshold 0.15
+                                     # regression gate (exit 1 on regression)
     dsi-sim check-protocol           # model-check every protocol variant
     dsi-sim check-protocol --variant 'WC+DSI(V)+FIFO+TO'
                                      # one variant, with its trace on failure
@@ -95,15 +100,20 @@ def build_parser():
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'all', 'ablations', 'bars', "
-        "'run', 'trace', 'gen', or 'check-protocol'",
+        "'run', 'trace', 'analyze', 'bench', 'gen', or 'check-protocol'",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="trace: workload name (equivalent to --workload)",
+        help="trace/analyze: workload name (equivalent to --workload)",
     )
-    parser.add_argument("--procs", type=int, default=32, help="machine size (default 32)")
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        help="machine size (default 32; bench: the suite's pinned size)",
+    )
     parser.add_argument(
         "--quick", action="store_true", help="reduced workload sizes (fast sanity run)"
     )
@@ -132,7 +142,12 @@ def build_parser():
         help="machine-readable JSON on stdout instead of tables",
     )
     # run / gen options
-    parser.add_argument("--workload", choices=sorted(WORKLOADS), help="workload for run/gen")
+    parser.add_argument(
+        "--workload",
+        help="workload for run/gen/analyze: a paper application "
+        f"({', '.join(sorted(WORKLOADS))}) or a synthetic kernel "
+        "(see 'dsi-sim list')",
+    )
     parser.add_argument("--trace", help="run: simulate a saved .npz trace instead")
     parser.add_argument(
         "--protocol", default="SC", help="run: protocol label (SC, W, S, V, W+V, V-FIFO)"
@@ -172,6 +187,57 @@ def build_parser():
         action="append",
         metavar="N",
         help="trace: restrict the message log to block N (repeatable)",
+    )
+    # analyze options
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=12,
+        metavar="N",
+        help="analyze: hottest blocks to list in the per-block table",
+    )
+    parser.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="analyze: skip the runtime message ledger and quiesce-time "
+        "coherence audit",
+    )
+    # bench options
+    parser.add_argument(
+        "--suite",
+        choices=("smoke", "quick", "full"),
+        default="quick",
+        help="bench: pinned run suite (default quick)",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help="bench: compare two BENCH_*.json snapshots instead of running",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        metavar="FRAC",
+        help="bench --compare: fail when cycles/s drops more than FRAC "
+        "(default 0.15)",
+    )
+    parser.add_argument(
+        "--sim-threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="bench --compare: also fail when deterministic quantities "
+        "(exec_time, messages) drift more than FRAC in either direction",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="bench: run the suite N times, keep each run's fastest wall "
+        "time (default 1)",
     )
     # check-protocol options
     parser.add_argument(
@@ -228,10 +294,17 @@ def main(argv=None):
     if args.jobs is not None and args.jobs < 1:
         print("--jobs must be >= 1 (1 = serial, in-process)", file=sys.stderr)
         return 2
+    if args.experiment == "bench":
+        return _bench(args)  # before --procs defaulting: suites pin their own
+    if args.procs is None:
+        args.procs = 32
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
-        for extra in ("bars", "run", "trace", "gen", "describe", "check-protocol"):
+        for extra in (
+            "bars", "run", "trace", "analyze", "bench", "gen", "describe",
+            "check-protocol",
+        ):
             print(extra)
         return 0
     if args.experiment == "check-protocol":
@@ -242,6 +315,8 @@ def main(argv=None):
         return _run_one(args)
     if args.experiment == "trace":
         return _trace(args)
+    if args.experiment == "analyze":
+        return _analyze(args)
     if args.experiment == "gen":
         return _generate(args)
     if args.experiment == "describe":
@@ -419,9 +494,14 @@ def _load_run_program(args):
     if not args.workload:
         print("run: need --workload or --trace", file=sys.stderr)
         return None
-    return by_name(
-        args.workload, **workload_args(args.workload, quick=args.quick, n_procs=args.procs)
-    )
+    try:
+        return by_name(
+            args.workload,
+            **workload_args(args.workload, quick=args.quick, n_procs=args.procs),
+        )
+    except KeyError as exc:
+        print(f"unknown workload {exc.args[0]}", file=sys.stderr)
+        return None
 
 
 def _make_instrument(args):
@@ -447,6 +527,20 @@ def _write_obs_outputs(args, instrument, extra):
         print(f"# wrote metrics dump -> {args.metrics}", file=sys.stderr)
 
 
+def _tracer_telemetry(tracer):
+    """Run context for the metrics dump: what the MessageTracer kept and,
+    crucially, what it dropped (a truncated log is only trustworthy when
+    the truncation is visible)."""
+    if tracer is None:
+        return None
+    return {
+        "events": len(tracer),
+        "dropped": tracer.dropped,
+        "max_events": tracer.max_events,
+        "blocks": sorted(tracer.blocks) if tracer.blocks else None,
+    }
+
+
 def _run_one(args):
     """One simulation with the full statistics dump."""
     program = _load_run_program(args)
@@ -470,16 +564,15 @@ def _run_one(args):
     wall = time.time() - started
     record = RunRecord.from_result(result)
     record.set_timing(wall)
-    _write_obs_outputs(
-        args,
-        instrument,
-        extra={
-            "workload": program.describe(),
-            "protocol": config.describe(),
-            "wall_time_s": record.wall_time_s,
-            "sim_cycles_per_s": record.sim_cycles_per_s,
-        },
-    )
+    extra = {
+        "workload": program.describe(),
+        "protocol": config.describe(),
+        "wall_time_s": record.wall_time_s,
+        "sim_cycles_per_s": record.sim_cycles_per_s,
+    }
+    if tracer is not None:
+        extra["message_trace"] = _tracer_telemetry(tracer)
+    _write_obs_outputs(args, instrument, extra=extra)
     if args.as_json:
         payload = {
             "workload": program.describe(),
@@ -530,9 +623,6 @@ def _trace(args):
 
     if args.target and not args.workload and not args.trace:
         args.workload = args.target
-    if args.workload and args.workload not in WORKLOADS:
-        print(f"trace: unknown workload {args.workload!r}", file=sys.stderr)
-        return 2
     program = _load_run_program(args)
     if program is None:
         return 2
@@ -592,8 +682,191 @@ def _trace(args):
     _write_obs_outputs(
         args,
         instrument,
+        extra={
+            "workload": program.describe(),
+            "protocol": config.describe(),
+            "message_trace": _tracer_telemetry(tracer),
+        },
+    )
+    return 0
+
+
+def _analyze(args):
+    """Instrumented run with sharing-pattern classification, the
+    DSI-accuracy report and the runtime accounting audit."""
+    from repro.obs import AnalyticsInstrument
+
+    if args.target and not args.workload and not args.trace:
+        args.workload = args.target
+    program = _load_run_program(args)
+    if program is None:
+        return 2
+    config = paper_config(
+        args.protocol,
+        cache=args.cache,
+        latency=args.latency,
+        n_procs=program.n_procs,
+    )
+    instrument = AnalyticsInstrument(audit=not args.no_audit)
+    started = time.time()
+    result = Machine(config, program, instrument=instrument).run()
+    wall = time.time() - started
+    report = instrument.report(top=args.top)
+    _write_obs_outputs(
+        args,
+        instrument,
         extra={"workload": program.describe(), "protocol": config.describe()},
     )
+    if args.as_json:
+        payload = {
+            "workload": program.describe(),
+            "protocol": config.describe(),
+            "exec_time": result.exec_time,
+            "wall_seconds": round(wall, 3),
+            "report": report,
+            "audit": instrument.audit_result,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"workload: {program.describe()}")
+    print(f"protocol: {config.describe()}  cache={config.cache_size // 1024}KB "
+          f"net={config.network_latency}\n")
+    patterns = report["patterns"]
+    total = report["blocks"] or 1
+    rows = [
+        [pattern, count, f"{count / total:.3f}"]
+        for pattern, count in patterns.items()
+        if count
+    ]
+    print(format_table(
+        ["pattern", "blocks", "fraction"],
+        rows,
+        title=f"sharing patterns ({report['blocks']} blocks)",
+    ))
+    print()
+    dsi = report["dsi"]
+    if dsi["self_invalidations"]:
+        accuracy = f"{dsi['accuracy']:.1%}" if dsi["accuracy"] is not None else "n/a"
+        print(
+            f"DSI speculation: {dsi['self_invalidations']} self-invalidations, "
+            f"{dsi['correct']} correct, {dsi['mispredicted']} mispredicted "
+            f"(accuracy {accuracy})"
+        )
+        by_pattern = [
+            [pattern, stats["correct"], stats["mispredicted"],
+             f"{stats['accuracy']:.3f}" if stats["accuracy"] is not None else "-"]
+            for pattern, stats in dsi["by_pattern"].items()
+            if stats["correct"] or stats["mispredicted"]
+        ]
+        if by_pattern:
+            print()
+            print(format_table(
+                ["pattern", "correct", "wrong", "accuracy"],
+                by_pattern,
+                title="DSI accuracy by pattern",
+            ))
+    else:
+        print("DSI speculation: no self-invalidations "
+              "(protocol without DSI, or nothing marked)")
+    print()
+    block_rows = [
+        [
+            row["block"], row["pattern"], row["reads"], row["writes"],
+            row["readers"], row["writers"], row["self_invalidations"],
+            row["si_wrong"],
+        ]
+        for row in report["top_blocks"]
+    ]
+    print(format_table(
+        ["block", "pattern", "reads", "writes", "readers", "writers", "si", "si_wrong"],
+        block_rows,
+        title=f"hottest {len(block_rows)} blocks",
+    ))
+    print()
+    if instrument.audit_result is not None and instrument.audit_result:
+        messages = instrument.audit_result.get("messages", {})
+        coherence = instrument.audit_result.get("coherence", {})
+        print(
+            f"audit: ok ({messages.get('sends', 0)} messages balanced, "
+            f"{coherence.get('blocks', 0)} directory entries consistent "
+            f"with {coherence.get('copies', 0)} cached copies)"
+        )
+    elif args.no_audit:
+        print("audit: skipped (--no-audit)")
+    if report["events_dropped"]:
+        print(f"# warning: {report['events_dropped']} per-block events dropped "
+              f"(classification is approximate for the hottest blocks)")
+    print(f"execution time: {result.exec_time} cycles ({wall:.1f}s)")
+    return 0
+
+
+def _bench(args):
+    """Benchmark observatory: run a pinned suite into a BENCH_*.json
+    snapshot, or compare two snapshots (exit 1 on regression)."""
+    from repro.errors import ConfigError
+    from repro.harness import bench
+
+    try:
+        if args.compare:
+            old = bench.load_payload(args.compare[0])
+            new = bench.load_payload(args.compare[1])
+            rows, regressions = bench.compare(
+                old, new,
+                threshold=args.threshold,
+                sim_threshold=args.sim_threshold,
+            )
+            if args.as_json:
+                print(json.dumps(
+                    {"rows": rows, "regressions": len(regressions)}, indent=2
+                ))
+            else:
+                print(bench.format_compare(rows, threshold=args.threshold))
+                print()
+                if regressions:
+                    print(f"# {len(regressions)} regression(s)")
+                else:
+                    print("# no regressions")
+            return 1 if regressions else 0
+        payload = bench.run_bench(
+            suite=args.suite,
+            procs=args.procs,
+            jobs=args.jobs or 1,
+            repeat=args.repeat,
+            verbose=args.verbose,
+        )
+    except ConfigError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    path = args.output or bench.default_path()
+    bench.write_payload(payload, path)
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [
+            [
+                run["workload"], run["protocol"], run["exec_time"],
+                f"{run['wall_time_s']:.2f}" if run["wall_time_s"] else "-",
+                f"{run['sim_cycles_per_s'] / 1000:.0f}k"
+                if run["sim_cycles_per_s"] else "-",
+                run["network_messages"],
+            ]
+            for run in payload["runs"]
+        ]
+        print(format_table(
+            ["workload", "proto", "exec_time", "wall_s", "cyc/s", "messages"],
+            rows,
+            title=f"bench suite '{payload['suite']}' "
+            f"(procs={payload['procs']}, repeat={payload['repeat']})",
+        ))
+        totals = payload["totals"]
+        speed = totals["sim_cycles_per_s"]
+        print()
+        print(
+            f"# total {totals['wall_time_s']:.1f}s wall, "
+            f"{totals['sim_cycles']} simulated cycles"
+            + (f", {speed / 1000:.0f}k cycles/s" if speed else "")
+        )
+    print(f"# wrote bench snapshot -> {path}", file=sys.stderr)
     return 0
 
 

@@ -212,5 +212,17 @@ class Cache:
             if frame.valid
         }
 
+    def snapshot(self):
+        """{block: (state letter, dirty, s bit, tearoff)} for every valid
+        copy — a plain-value view used by the quiesce-time coherence audit
+        (:func:`repro.obs.audit.audit_coherence`) to diff directory state
+        against actual cache contents."""
+        return {
+            frame.tag: (frame.state_name(), frame.dirty, frame.s_bit, frame.tearoff)
+            for cache_set in self.sets
+            for frame in cache_set
+            if frame.valid
+        }
+
     def occupancy(self):
         return sum(1 for s in self.sets for f in s if f.valid)

@@ -27,6 +27,8 @@ figure numbers are unchanged, which ``tests/test_obs.py`` proves with an
 enabled-vs-disabled equivalence run.
 """
 
+from repro.obs.analytics import AnalyticsInstrument, SharingClassifier
+from repro.obs.audit import MessageLedger, audit_coherence
 from repro.obs.export import (
     ascii_timeline,
     metrics_dict,
@@ -40,6 +42,10 @@ from repro.obs.spans import Span
 
 __all__ = [
     "Instrument",
+    "AnalyticsInstrument",
+    "SharingClassifier",
+    "MessageLedger",
+    "audit_coherence",
     "Span",
     "Histogram",
     "TimeSeries",

@@ -1,0 +1,412 @@
+"""Coherence analytics: per-block sharing-pattern classification and the
+DSI speculation-accuracy report.
+
+A :class:`SharingClassifier` folds the probe stream into per-block
+*lifetimes* — the time-ordered sequence of directory accesses plus the
+cache fill/evict/self-invalidate events — and classifies each block into
+the taxonomy the paper's argument (and the ROADMAP hybrid
+update/invalidate predictor) turns on:
+
+``private``
+    Only one node ever touched the block.
+``read-mostly``
+    No writes at all, or reads outnumber writes by ``read_mostly_ratio``.
+``migratory``
+    Ownership hands off between writers, and the next writer *read* the
+    block during the previous writer's tenure — the read-modify-write
+    signature Cox-Fowler detection keys on.
+``producer-consumer``
+    One dominant writer and a stable set of other readers between writes.
+``widely-shared``
+    Several writers and several readers with none of the structures above.
+``other``
+    Anything left (too little history to call).
+
+The access stream is what the *directory* sees: cache hits are invisible,
+which is exactly the right granularity — a pattern only matters to the
+protocol when it produces coherence traffic.  One known undercount:
+upgrade grants install exclusivity without a ``cache_fill`` probe, so
+``fills`` per block counts data responses only.
+
+**DSI accuracy** (the paper's §3 "ideal" framing): a self-invalidation of
+block B by node N is a *correct* speculation when N does not re-read B
+before B's next write — the copy would have been invalidated anyway.  A
+re-read by N before any intervening write means DSI threw away a copy
+that was still good (an extra miss the eager protocol would not have
+had).  Re-reads are always visible: the copy is gone, so the next read
+must go through the directory.
+
+:class:`AnalyticsInstrument` packages the classifier with the
+:class:`~repro.obs.audit.MessageLedger` as a drop-in
+:class:`~repro.obs.instrument.Instrument`: every override calls
+``super()`` first and only *reads* probe arguments, so instrumented runs
+stay bit-identical to bare runs (the equivalence test covers it).  At
+quiesce it balances the ledger and runs the directory-vs-cache coherence
+audit (:func:`~repro.obs.audit.audit_coherence`).
+"""
+
+import bisect
+from collections import Counter
+
+from repro.obs.audit import MessageLedger, audit_coherence
+from repro.obs.instrument import Instrument
+
+#: Classification taxonomy, in report order.
+PATTERNS = (
+    "private",
+    "read-mostly",
+    "migratory",
+    "producer-consumer",
+    "widely-shared",
+    "other",
+)
+
+#: Version of the dict produced by :meth:`SharingClassifier.report`.
+REPORT_SCHEMA_VERSION = 1
+
+
+class BlockLife:
+    """One block's lifetime, folded from the probe stream."""
+
+    __slots__ = (
+        "block",
+        "accesses",
+        "reads",
+        "writes",
+        "readers",
+        "writers",
+        "fills",
+        "si_fills",
+        "tearoff_fills",
+        "evicts",
+        "si_grants",
+        "si_events",
+        "dropped",
+    )
+
+    def __init__(self, block):
+        self.block = block
+        self.accesses = []  # (time, node, is_write), time-ordered
+        self.reads = 0
+        self.writes = 0
+        self.readers = set()
+        self.writers = set()
+        self.fills = 0
+        self.si_fills = 0
+        self.tearoff_fills = 0
+        self.evicts = 0
+        self.si_grants = 0
+        self.si_events = []  # (time, node)
+        self.dropped = 0  # events beyond the per-block retention cap
+
+
+class SharingClassifier:
+    """Fold directory/cache probes into per-block lifetimes and classify.
+
+    Parameters
+    ----------
+    max_events_per_block:
+        Retention cap on each block's access and self-invalidation lists
+        (counts are never capped); overflow is counted in
+        ``BlockLife.dropped`` and surfaced in the report.
+    read_mostly_ratio:
+        Reads-per-write at or above which a multi-reader block is called
+        read-mostly even though it does see writes.
+    """
+
+    def __init__(self, max_events_per_block=20_000, read_mostly_ratio=8.0):
+        self.blocks = {}
+        self.max_events_per_block = max_events_per_block
+        self.read_mostly_ratio = read_mostly_ratio
+
+    def _life(self, block):
+        life = self.blocks.get(block)
+        if life is None:
+            life = self.blocks[block] = BlockLife(block)
+        return life
+
+    # ------------------------------------------------------------------
+    # Probe feed
+    # ------------------------------------------------------------------
+    def on_access(self, time, block, node, kind):
+        """One logical directory request ("read", "write" or "upgrade")."""
+        life = self._life(block)
+        is_write = kind != "read"
+        if is_write:
+            life.writes += 1
+            life.writers.add(node)
+        else:
+            life.reads += 1
+            life.readers.add(node)
+        if len(life.accesses) < self.max_events_per_block:
+            life.accesses.append((time, node, is_write))
+        else:
+            life.dropped += 1
+
+    def on_grant(self, time, block, si, tearoff):
+        if si:
+            self._life(block).si_grants += 1
+
+    def on_fill(self, time, block, node, si, tearoff):
+        life = self._life(block)
+        life.fills += 1
+        if si:
+            life.si_fills += 1
+        if tearoff:
+            life.tearoff_fills += 1
+
+    def on_evict(self, time, block, node):
+        self._life(block).evicts += 1
+
+    def on_self_invalidate(self, time, block, node):
+        life = self._life(block)
+        if len(life.si_events) < self.max_events_per_block:
+            life.si_events.append((time, node))
+        else:
+            life.dropped += 1
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _write_intervals(life):
+        """(pairs, handoffs, rmw_handoffs, reader sets per interval).
+
+        An *interval* is the span between consecutive writes (plus the
+        tail after the last write); a *handoff* is an interval whose two
+        bounding writes came from different nodes; an *rmw handoff*
+        additionally saw the incoming writer read during the interval.
+        """
+        pairs = handoffs = rmw = 0
+        reader_sets = []
+        prev_writer = None
+        current = set()
+        for _time, node, is_write in life.accesses:
+            if is_write:
+                if prev_writer is not None:
+                    pairs += 1
+                    reader_sets.append(frozenset(current))
+                    if node != prev_writer:
+                        handoffs += 1
+                        if node in current:
+                            rmw += 1
+                prev_writer = node
+                current = set()
+            elif prev_writer is not None:
+                current.add(node)
+        reader_sets.append(frozenset(current))  # tail after the last write
+        return pairs, handoffs, rmw, reader_sets
+
+    @staticmethod
+    def _reader_stability(reader_sets):
+        """Mean Jaccard similarity of consecutive non-empty reader sets."""
+        if len(reader_sets) < 2:
+            return 1.0
+        total = 0.0
+        for a, b in zip(reader_sets, reader_sets[1:]):
+            total += len(a & b) / len(a | b)
+        return total / (len(reader_sets) - 1)
+
+    def classify(self, life):
+        """Pattern label for one block's lifetime."""
+        nodes = life.readers | life.writers
+        if not nodes:
+            return "other"
+        if len(nodes) == 1:
+            return "private"
+        if not life.writes:
+            return "read-mostly"
+        if (
+            life.reads / life.writes >= self.read_mostly_ratio
+            and len(life.readers) >= 2
+        ):
+            return "read-mostly"
+        pairs, handoffs, rmw, reader_sets = self._write_intervals(life)
+        mean_readers = sum(len(s) for s in reader_sets) / len(reader_sets)
+        if (
+            len(life.writers) >= 2
+            and pairs >= 2
+            and handoffs / pairs >= 0.5
+            and (rmw / handoffs if handoffs else 0.0) >= 0.6
+            and mean_readers <= 2.0
+        ):
+            return "migratory"
+        writer_counts = Counter(
+            node for _time, node, is_write in life.accesses if is_write
+        )
+        if writer_counts:
+            top_writer, top_writes = writer_counts.most_common(1)[0]
+            nonempty = [s for s in reader_sets if s]
+            if (
+                top_writes / life.writes >= 0.8
+                and len(nonempty) >= 2
+                and any(s - {top_writer} for s in nonempty)
+                and self._reader_stability(nonempty) >= 0.5
+            ):
+                return "producer-consumer"
+        if len(life.readers) >= 3 and len(life.writers) >= 2:
+            return "widely-shared"
+        return "other"
+
+    # ------------------------------------------------------------------
+    # DSI accuracy
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dsi_accuracy(life):
+        """(correct, mispredicted) over this block's self-invalidations.
+
+        Correct: the invalidating node issued no read of the block before
+        the block's next write (including "never again").  Mispredicted:
+        it re-read first — the copy was still good.
+        """
+        if not life.si_events:
+            return 0, 0
+        times = [time for time, _node, _is_write in life.accesses]
+        correct = wrong = 0
+        for si_time, node in life.si_events:
+            start = bisect.bisect_right(times, si_time)
+            ok = True
+            for _time, access_node, is_write in life.accesses[start:]:
+                if is_write:
+                    break
+                if access_node == node:
+                    ok = False
+                    break
+            if ok:
+                correct += 1
+            else:
+                wrong += 1
+        return correct, wrong
+
+    # ------------------------------------------------------------------
+    # Report
+    # ------------------------------------------------------------------
+    def report(self, top=12):
+        """JSON-serializable classification + DSI-accuracy summary."""
+        pattern_counts = Counter()
+        per_pattern = {}
+        rows = []
+        total_correct = total_wrong = total_si = total_si_grants = 0
+        dropped = 0
+        for block, life in self.blocks.items():
+            pattern = self.classify(life)
+            pattern_counts[pattern] += 1
+            correct, wrong = self._dsi_accuracy(life)
+            total_correct += correct
+            total_wrong += wrong
+            total_si += len(life.si_events)
+            total_si_grants += life.si_grants
+            dropped += life.dropped
+            slot = per_pattern.setdefault(pattern, [0, 0])
+            slot[0] += correct
+            slot[1] += wrong
+            rows.append(
+                {
+                    "block": block,
+                    "pattern": pattern,
+                    "reads": life.reads,
+                    "writes": life.writes,
+                    "readers": len(life.readers),
+                    "writers": len(life.writers),
+                    "fills": life.fills,
+                    "evicts": life.evicts,
+                    "si_grants": life.si_grants,
+                    "self_invalidations": len(life.si_events),
+                    "si_correct": correct,
+                    "si_wrong": wrong,
+                }
+            )
+        rows.sort(key=lambda row: (-(row["reads"] + row["writes"]), row["block"]))
+        judged = total_correct + total_wrong
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "blocks": len(self.blocks),
+            "events_dropped": dropped,
+            "patterns": {p: pattern_counts.get(p, 0) for p in PATTERNS},
+            "dsi": {
+                "si_marked_grants": total_si_grants,
+                "self_invalidations": total_si,
+                "correct": total_correct,
+                "mispredicted": total_wrong,
+                "accuracy": round(total_correct / judged, 4) if judged else None,
+                "by_pattern": {
+                    pattern: {
+                        "correct": c,
+                        "mispredicted": w,
+                        "accuracy": round(c / (c + w), 4) if (c + w) else None,
+                    }
+                    for pattern, (c, w) in sorted(per_pattern.items())
+                },
+            },
+            "top_blocks": rows[:top],
+        }
+
+
+class AnalyticsInstrument(Instrument):
+    """An :class:`~repro.obs.instrument.Instrument` with the analytics
+    consumers attached: a :class:`SharingClassifier`, a
+    :class:`~repro.obs.audit.MessageLedger` (``audit=False`` disables it),
+    and the quiesce-time coherence audit.
+
+    Strictly a consumer layer: every override calls ``super()`` first and
+    never touches simulator state, so runs remain bit-identical to bare
+    ones.
+    """
+
+    def __init__(self, audit=True, classifier=None, **kwargs):
+        super().__init__(**kwargs)
+        self.classifier = classifier if classifier is not None else SharingClassifier()
+        self.ledger = MessageLedger() if audit else None
+        self.audit_result = None
+
+    # -- network -------------------------------------------------------
+    def message_send(self, msg, is_network):
+        super().message_send(msg, is_network)
+        if self.ledger is not None:
+            self.ledger.on_send(msg, self.now)
+
+    def message_receive(self, msg, is_network):
+        super().message_receive(msg, is_network)
+        if self.ledger is not None:
+            self.ledger.on_receive(msg, self.now)
+
+    # -- cache ---------------------------------------------------------
+    def cache_fill(self, node, block, state_name, si, tearoff):
+        super().cache_fill(node, block, state_name, si, tearoff)
+        self.classifier.on_fill(self.now, block, node, si, tearoff)
+
+    def cache_evict(self, node, block, dirty):
+        super().cache_evict(node, block, dirty)
+        self.classifier.on_evict(self.now, block, node)
+
+    def cache_self_invalidate(self, node, block, at_sync):
+        super().cache_self_invalidate(node, block, at_sync)
+        self.classifier.on_self_invalidate(self.now, block, node)
+
+    # -- directory -----------------------------------------------------
+    def dir_txn_begin(self, home, block, kind, requester):
+        # The base class keeps exactly one open span per (home, block), so
+        # "span not open yet" distinguishes a *new* logical request from a
+        # replay of the same one (deferred-queue drain, post-writeback
+        # restart) — replays must not double-count the access.
+        fresh = not self.spans.is_open(("dir", home, block))
+        super().dir_txn_begin(home, block, kind, requester)
+        if fresh:
+            self.classifier.on_access(self.now, block, requester, kind)
+
+    def dir_grant(self, home, block, requester, kind, si, tearoff):
+        super().dir_grant(home, block, requester, kind, si, tearoff)
+        self.classifier.on_grant(self.now, block, si, tearoff)
+
+    # -- quiesce -------------------------------------------------------
+    def on_quiesce(self, machine):
+        summary = {}
+        if self.ledger is not None:
+            summary["messages"] = self.ledger.check_quiesced()
+            summary["coherence"] = audit_coherence(machine)
+        self.audit_result = summary
+        return summary
+
+    def report(self, top=12):
+        """The classifier's report (see :meth:`SharingClassifier.report`)."""
+        return self.classifier.report(top=top)

@@ -13,6 +13,7 @@ occupancy, NI queue depth) render above them.
 
 import json
 
+from repro.obs.instrument import PROBE_TYPES
 from repro.obs.spans import LANE_DIR, LANE_NET, LANE_PROC
 
 #: Synthetic pids for the three lane groups.
@@ -34,6 +35,65 @@ def _meta(pid, tid, name, kind):
         "name": kind,
         "args": {"name": name},
     }
+
+
+def _flow(name, flow_id, ph, ts, pid, tid):
+    event = {
+        "name": name,
+        "cat": "flow",
+        "ph": ph,
+        "id": flow_id,
+        "ts": ts,
+        "pid": pid,
+        "tid": tid,
+    }
+    if ph == "f":
+        event["bp"] = "e"  # bind to the enclosing slice, not the next one
+    return event
+
+
+def _flow_events(instrument, max_flows=20_000):
+    """Flow arrows linking each miss slice to the directory slice that
+    served it: a ``request`` arrow (miss start → dir start) and a
+    ``response`` arrow (dir grant → miss completion).
+
+    Matching is by (requester, block) with the directory span starting
+    inside the miss span — the same containment a real request obeys.
+    Chrome's format requires the "s"/"f" anchors to fall *within* their
+    bound slices, so arrows anchor at slice starts and at ``end - 1``
+    (every exported slice has ``dur >= 1``).
+    """
+    misses = {}
+    for span in instrument.finished_spans():
+        if span.category == "miss":
+            misses.setdefault((span.node, span.args.get("block")), []).append(span)
+    for candidates in misses.values():
+        candidates.sort(key=lambda s: s.start)
+    events = []
+    flow_id = 0
+    for span in instrument.finished_spans():
+        if span.category != "dir":
+            continue
+        requester = span.args.get("requester")
+        candidates = misses.get((requester, span.args.get("block")))
+        if requester is None or not candidates:
+            continue
+        miss = next(
+            (m for m in candidates if m.start <= span.start <= m.end), None
+        )
+        if miss is None or flow_id // 2 >= max_flows:
+            continue
+        events.append(_flow("request", flow_id, "s", miss.start, PID_PROC, miss.node))
+        events.append(_flow("request", flow_id, "f", span.start, PID_DIR, span.node))
+        flow_id += 1
+        events.append(
+            _flow("response", flow_id, "s", max(span.end - 1, span.start), PID_DIR, span.node)
+        )
+        events.append(
+            _flow("response", flow_id, "f", max(miss.end - 1, miss.start), PID_PROC, miss.node)
+        )
+        flow_id += 1
+    return events
 
 
 def to_perfetto(instrument, max_instants=20_000):
@@ -82,6 +142,9 @@ def to_perfetto(instrument, max_instants=20_000):
                         "args": {f"node{node}": value},
                     }
                 )
+    # Flow arrows stitching request/response across lanes.
+    flows = _flow_events(instrument)
+    events.extend(flows)
     # Message sends as instant events on the network lane.
     instants = instrument.message_events[:max_instants]
     for time, kind, src, dst, block, is_network in instants:
@@ -103,6 +166,7 @@ def to_perfetto(instrument, max_instants=20_000):
         "otherData": {
             "tool": "dsi-sim",
             "sim_cycles": instrument.now,
+            "flows": len(flows) // 2,
             "spans_dropped": instrument.spans.dropped,
             "messages_dropped": instrument.messages_dropped
             + max(len(instrument.message_events) - max_instants, 0),
@@ -126,9 +190,13 @@ def metrics_dict(instrument):
         group: {str(node): s.as_dict(end_time=end) for node, s in sorted(table.items())}
         for group, table in instrument.series_tables().items()
     }
+    # Zero-fill the full probe inventory so a diff of two metrics dumps
+    # distinguishes "never fired" from "does not exist".
+    probe_counts = {name: 0 for name in PROBE_TYPES}
+    probe_counts.update(instrument.counts)
     return {
         "sim_cycles": end,
-        "probe_counts": dict(instrument.counts),
+        "probe_counts": probe_counts,
         "message_kinds": dict(instrument.message_kinds),
         "span_latency": {
             category: hist.as_dict() for category, hist in instrument.latency.items()
@@ -137,6 +205,15 @@ def metrics_dict(instrument):
         "spans_recorded": len(instrument.spans.spans),
         "spans_dropped": instrument.spans.dropped,
         "messages_dropped": instrument.messages_dropped,
+        "dropped": {
+            "message_events": instrument.messages_dropped,
+            "spans": instrument.spans.dropped,
+            "series_points": sum(
+                series_obj.dropped
+                for table in instrument.series_tables().values()
+                for series_obj in table.values()
+            ),
+        },
     }
 
 

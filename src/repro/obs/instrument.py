@@ -37,6 +37,37 @@ from repro.obs.spans import LANE_DIR, LANE_PROC, SpanTracker
 #: Span categories with latency histograms.
 CATEGORIES = ("miss", "dir", "inv", "sync")
 
+#: Every counter key a probe can bump.  Exporters zero-fill these in the
+#: metrics dump so consumers can tell "this probe never fired" apart from
+#: "this probe does not exist" when diffing runs.
+PROBE_TYPES = (
+    "message_send",
+    "message_receive",
+    "cache_fill",
+    "cache_fill_si",
+    "cache_fill_tearoff",
+    "cache_evict",
+    "cache_evict_dirty",
+    "self_invalidate",
+    "self_invalidate_early",
+    "protocol_transition",
+    "mshr_open",
+    "mshr_close",
+    "dir_txn",
+    "dir_grant",
+    "dir_grant_si",
+    "dir_grant_tearoff",
+    "inv_sent",
+    "inv_acked",
+    "fifo_push",
+    "fifo_pop",
+    "fifo_overflow",
+    "wb_fill",
+    "wb_drain",
+    "sync_enter",
+    "sync_exit",
+)
+
 
 class Instrument:
     """Typed probe points, span stitching and time-series sampling.
@@ -202,6 +233,19 @@ class Instrument:
                 self.now, self._dir_open[home]
             )
 
+    def dir_grant(self, home, block, requester, kind, si, tearoff):
+        """The directory responded to a request (DATA/DATA_EX/UPGRADE_ACK).
+
+        ``kind`` is "read", "write" or "upgrade"; ``si`` and ``tearoff``
+        carry the identification policy's decision for this grant — the
+        ground truth the DSI-accuracy report measures speculation against.
+        """
+        self.counts["dir_grant"] += 1
+        if si:
+            self.counts["dir_grant_si"] += 1
+        if tearoff:
+            self.counts["dir_grant_tearoff"] += 1
+
     def inv_sent(self, home, block, target):
         self.counts["inv_sent"] += 1
         self.spans.begin(
@@ -266,6 +310,16 @@ class Instrument:
         span = self.spans.end(("sync", node), self.now)
         if span is not None:
             self.latency["sync"].add(span.duration)
+
+    # ------------------------------------------------------------------
+    # Quiesce
+    # ------------------------------------------------------------------
+    def on_quiesce(self, machine):
+        """Called by the machine once every processor has finished.
+
+        The base instrument does nothing with it; consumer layers override
+        it (:class:`~repro.obs.analytics.AnalyticsInstrument` audits the
+        quiesced machine's directory state against the caches here)."""
 
     # ------------------------------------------------------------------
     # Introspection

@@ -112,6 +112,10 @@ class Machine:
         unfinished = [p.node for p in self.processors if not p.finished]
         if unfinished:
             raise SimulationError(f"processors never finished: {unfinished}")
+        if self.instrument is not None:
+            # Read-only by contract: consumer layers audit the quiesced
+            # machine here (instrumented runs stay bit-identical to bare).
+            self.instrument.on_quiesce(self)
         finish_times = [proc.finish_time for proc in self.processors]
         return RunResult(
             label=self.config.describe(),

@@ -67,6 +67,42 @@ class TestEquivalence:
         assert bare.to_dict() == observed.to_dict()
 
 
+class TestAnalyticsEquivalence:
+    """The analytics consumer layer keeps the equivalence contract: it
+    reads probe arguments and never touches simulator state, so a run
+    with an AnalyticsInstrument is measurement-identical to a bare one —
+    while still running the full quiesce-time audit."""
+
+    def _records(self, config):
+        from repro.obs import AnalyticsInstrument
+
+        program = sharing_program()
+        bare = RunRecord.from_result(Machine(config, program).run())
+        instrument = AnalyticsInstrument()
+        result = Machine(config, sharing_program(), instrument=instrument).run()
+        return bare, RunRecord.from_result(result), instrument
+
+    def test_sc_equivalent(self):
+        bare, observed, instrument = self._records(tiny_config())
+        assert bare.to_dict() == observed.to_dict()
+        assert instrument.audit_result["messages"]["sends"] > 0
+        assert instrument.audit_result["coherence"]["blocks"] > 0
+
+    def test_dsi_fifo_equivalent(self):
+        bare, observed, instrument = self._records(dsi_fifo_config())
+        assert bare.to_dict() == observed.to_dict()
+        assert instrument.audit_result["messages"]["sends"] > 0
+
+    def test_audit_off_leaves_no_ledger(self):
+        from repro.obs import AnalyticsInstrument
+
+        instrument = AnalyticsInstrument(audit=False)
+        Machine(tiny_config(), sharing_program(), instrument=instrument).run()
+        assert instrument.ledger is None
+        assert instrument.audit_result == {}
+        assert instrument.classifier.blocks  # classification still ran
+
+
 class TestProbes:
     def test_message_counts_match_network_counters(self):
         instrument, result = instrumented_run()
@@ -210,6 +246,47 @@ class TestSamplers:
             series.record(t, t)
         assert len(series) == 3
         assert series.dropped == 7
+
+    def test_empty_series(self):
+        series = TimeSeries("empty")
+        assert len(series) == 0
+        assert series.last == 0
+        assert series.value_at(100) == 0
+        hist = series.histogram(end_time=50)
+        assert hist.count == 0 and hist.mean() == 0.0
+        data = series.as_dict(end_time=50)
+        assert data["points"] == 0 and data["count"] == 0
+
+    def test_all_samples_at_identical_timestamp(self):
+        # Every change lands in one cycle: each level's held-time weight
+        # is zero, so the histogram takes the degenerate path and weights
+        # the final level once instead of reporting nothing.
+        series = TimeSeries("burst")
+        series.record(7, 1)
+        series.record(7, 5)
+        series.record(7, 2)
+        assert len(series) == 1  # same-cycle updates collapse
+        hist = series.histogram(end_time=7)
+        assert hist.count == 1
+        assert hist.mean() == 2
+
+    def test_zero_duration_tail_sample(self):
+        # The last sample lands exactly at end_time: it held for zero
+        # cycles and must not contribute weight, but the earlier levels
+        # still integrate normally.
+        series = TimeSeries("tail")
+        series.record(0, 4)
+        series.record(10, 9)
+        hist = series.histogram(end_time=10)
+        assert hist.weight == 10
+        assert hist.mean() == pytest.approx(4.0)
+
+    def test_end_time_before_samples_degenerates(self):
+        series = TimeSeries("late")
+        series.record(100, 3)
+        hist = series.histogram(end_time=100)
+        assert hist.count == 1
+        assert hist.mean() == 3
 
     def test_histogram_percentiles(self):
         hist = Histogram("lat")

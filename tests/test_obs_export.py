@@ -81,6 +81,51 @@ class TestPerfetto:
         assert loaded["otherData"]["sim_cycles"] > 0
 
 
+class TestFlows:
+    """Flow arrows linking each miss slice to the directory slice that
+    served it (request) and back (response)."""
+
+    def _flows(self, config=None):
+        trace = to_perfetto(traced_instrument(config))
+        events = trace["traceEvents"]
+        return trace, [e for e in events if e["ph"] in ("s", "f")]
+
+    def test_flows_present_and_paired(self):
+        trace, flows = self._flows()
+        starts = {e["id"] for e in flows if e["ph"] == "s"}
+        finishes = {e["id"] for e in flows if e["ph"] == "f"}
+        assert starts
+        assert starts == finishes
+        assert trace["otherData"]["flows"] == len(starts)
+
+    def test_finish_events_bind_to_enclosing_slice(self):
+        _, flows = self._flows()
+        for event in flows:
+            if event["ph"] == "f":
+                assert event["bp"] == "e"
+
+    def test_anchors_fall_within_their_slices(self):
+        # Chrome drops a flow whose anchor lies outside the slice it
+        # binds to, so every "s"/"f" ts must land inside a slice on the
+        # same pid/tid.
+        trace = to_perfetto(traced_instrument())
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        for event in trace["traceEvents"]:
+            if event["ph"] not in ("s", "f"):
+                continue
+            assert any(
+                s["pid"] == event["pid"]
+                and s["tid"] == event["tid"]
+                and s["ts"] <= event["ts"] < s["ts"] + s["dur"]
+                for s in slices
+            ), f"flow anchor {event} outside every slice"
+
+    def test_request_and_response_named(self):
+        _, flows = self._flows(dsi_fifo_config())
+        names = {e["name"] for e in flows}
+        assert names == {"request", "response"}
+
+
 class TestMetrics:
     def test_schema(self):
         metrics = metrics_dict(traced_instrument(dsi_fifo_config()))
@@ -102,6 +147,26 @@ class TestMetrics:
             "write_buffer_depth",
             "directory_occupancy",
             "ni_queue_depth",
+        }
+
+    def test_probe_counts_zero_filled(self):
+        from repro.obs.instrument import PROBE_TYPES
+
+        # SC without DSI never fires the FIFO or tear-off probes, but the
+        # keys must still be present (as zero) so diffs of two dumps can
+        # tell "never fired" apart from "does not exist".
+        metrics = metrics_dict(traced_instrument())
+        assert set(PROBE_TYPES) <= set(metrics["probe_counts"])
+        assert metrics["probe_counts"]["fifo_overflow"] == 0
+        assert metrics["probe_counts"]["cache_fill_tearoff"] == 0
+        assert metrics["probe_counts"]["dir_grant"] > 0
+
+    def test_dropped_summary(self):
+        metrics = metrics_dict(traced_instrument())
+        assert metrics["dropped"] == {
+            "message_events": 0,
+            "spans": 0,
+            "series_points": 0,
         }
 
     def test_json_serializable(self):

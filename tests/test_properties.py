@@ -18,6 +18,7 @@ from hypothesis import given, settings, strategies as st
 
 from conftest import seg_addr, tiny_config
 from repro.config import Consistency, IdentifyScheme, SIMechanism
+from repro.errors import ProtocolError
 from repro.system import Machine
 from repro.trace.builder import TraceBuilder
 from repro.trace.ops import Program
@@ -176,3 +177,48 @@ def test_latency_scaling_preserves_correctness(program, latency):
     assert result.exec_time >= max(
         trace.total_compute() for trace in program.traces
     )
+
+
+@pytest.mark.xfail(
+    raises=ProtocolError,
+    strict=True,
+    reason="known open bug: WC + STATES + tearoff loses coherence order on a "
+    "write-write race followed by a post-barrier re-read (see ROADMAP.md)",
+)
+def test_wc_states_tearoff_coherence_order_pinned():
+    """Falsifying example found by hypothesis, pinned deterministically.
+
+    Under WC + additional-directory-states identification + tear-off,
+    three nodes race on one block: node 0 writes it, node 1 reads it
+    under a lock (taking a tear-off copy), node 2 writes it, everyone
+    barriers, then node 2 re-reads — and observes node 0's write despite
+    having already performed the later one.  The coherence monitor
+    raises ``ProtocolError`` ("observed write #1 after already seeing
+    write #2").  Strict xfail: when the protocol bug is fixed, this
+    starts passing and the marker must be removed.
+    """
+    block = seg_addr(0, 0)
+    lock = LOCKS[1]
+    writer_a = TraceBuilder()
+    writer_a.write(block)
+    writer_a.barrier(0)
+    writer_a.barrier(1)
+    reader = TraceBuilder()
+    reader.lock(lock)
+    reader.read(block)
+    reader.unlock(lock)
+    reader.barrier(0)
+    reader.barrier(1)
+    writer_b = TraceBuilder()
+    writer_b.write(block)
+    writer_b.barrier(0)
+    writer_b.read(block)
+    writer_b.barrier(1)
+    program = Program("pinned-wc-tearoff-race", [b.build() for b in (writer_a, reader, writer_b)])
+    config = tiny_config(
+        n_procs=N_PROCS,
+        consistency=Consistency.WC,
+        identify=IdentifyScheme.STATES,
+        tearoff=True,
+    )
+    Machine(config, program).run()
