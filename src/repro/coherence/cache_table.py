@@ -51,6 +51,10 @@ def cache_table(variant, bugs=NO_BUGS):
 
 
 def build_cache_table(variant, bugs=NO_BUGS):
+    if variant.tardis:
+        from repro.coherence.tardis import build_tardis_cache_table
+
+        return build_tardis_cache_table(variant, bugs)
     t = []
     sc_drop = (A.DROP_SC_TEAROFF,) if variant.tearoff is TearoffMode.SC else ()
     t += _load_rows(variant, sc_drop)
@@ -60,7 +64,7 @@ def build_cache_table(variant, bugs=NO_BUGS):
     t += _upgrade_ack_rows(variant)
     t += _ack_done_rows(variant)
     t += _write_after_read_rows(variant)
-    t += _inv_rows(variant)
+    t += _inv_rows(variant, bugs)
     t += _si_rows(variant, bugs)
     t += _evict_rows(variant)
     if not variant.wc:
@@ -311,10 +315,29 @@ def _write_after_read_rows(variant):
     return t
 
 
-def _inv_rows(variant):
-    t = rows((S.I, S.IS_D, S.IM_D), E.INV,
-             actions=(A.REPLY_INV_ACK,),
-             doc="copy already gone: acknowledge so the directory can progress")
+def _inv_rows(variant, bugs):
+    t = []
+    if variant.dsi and not bugs.si_notice_behind_inv_ack:
+        # A self-invalidated dirty copy whose SI_NOTIFY is still queued
+        # behind the flush cost: the INV's reply enters the node->home
+        # lane first, so the data must ride the acknowledgment (a
+        # dataless ack would complete the home's racing transaction with
+        # a stale memory copy and the late notice would be dropped).
+        t += [T(S.I, E.INV, guards=("si_notice_dirty",),
+                actions=(A.CONSUME_SI_NOTICE, A.REPLY_INV_ACK_DATA),
+                doc="dirty copy flushed but its notice not yet sent: "
+                    "the data rides the ack ahead of the queued notice")]
+        t += rows((S.IS_D, S.IM_D), E.INV,
+                  guards=("si_notice_dirty",),
+                  actions=(A.CONSUME_SI_NOTICE, A.REPLY_INV_ACK_DATA),
+                  kind=DEFENSIVE,
+                  doc="a request issued after the flush cannot overtake "
+                      "the queued notice (one outgoing resource), so the "
+                      "miss states never see this race; recover the same "
+                      "way if one ever does")
+    t += rows((S.I, S.IS_D, S.IM_D), E.INV,
+              actions=(A.REPLY_INV_ACK,),
+              doc="copy already gone: acknowledge so the directory can progress")
     t += [
         T(S.SM_WI, E.INV, actions=(A.REPLY_INV_ACK,), kind=DEFENSIVE,
           doc="a second INV for the same upgrade cannot arrive: the "

@@ -71,6 +71,10 @@ def _defer_kind(variant, state, ev):
 
 
 def build_dir_table(variant, bugs=NO_BUGS):
+    if variant.tardis:
+        from repro.coherence.tardis import build_tardis_dir_table
+
+        return build_tardis_dir_table(variant, bugs)
     t = []
     t += [
         T(state, ev, actions=(A.DEFER,), kind=_defer_kind(variant, state, ev),

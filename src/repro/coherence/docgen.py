@@ -13,19 +13,29 @@ from pathlib import Path
 from repro.coherence.cache_table import cache_table
 from repro.coherence.dir_table import dir_table
 from repro.coherence.table import ERROR
-from repro.coherence.variants import enumerate_variants
+from repro.coherence.variants import enumerate_variants, tardis_variants
 
 BEGIN = "<!-- BEGIN GENERATED TABLES (python -m repro.coherence.docgen) -->"
 END = "<!-- END GENERATED TABLES -->"
 
 #: The variants whose full tables are rendered: the two consistency
 #: models with every DSI feature on (their tables are supersets of the
-#: leaner variants' — knobs only remove rows or downgrade their kinds).
-REFERENCE_LABELS = ("SC+DSI(V)+FIFO+TO+MIG", "WC+DSI(V)+FIFO+TO+MIG")
+#: leaner variants' — knobs only remove rows or downgrade their kinds),
+#: plus the Tardis family, whose tables are disjoint from the DSI grid.
+REFERENCE_LABELS = (
+    "SC+DSI(V)+FIFO+TO+MIG",
+    "WC+DSI(V)+FIFO+TO+MIG",
+    "SC+TARDIS",
+    "WC+TARDIS",
+)
 
 
 def _all_variants():
-    return tuple(enumerate_variants(False)) + tuple(enumerate_variants(True))
+    return (
+        tuple(enumerate_variants(False))
+        + tuple(enumerate_variants(True))
+        + tuple(tardis_variants())
+    )
 
 
 def _by_label(label):

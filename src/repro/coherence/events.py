@@ -67,6 +67,7 @@ class CacheEvent(enum.Enum):
     UPGRADE_ACK = "UpgradeAck"
     ACK_DONE = "AckDone"
     INV = "Inv"
+    WB_REQ = "WbReq"  # (Tardis) home asks the owner for a timestamped writeback
     # Internal events
     WRITE_AFTER_READ = "WriteAfterRead"  # pending WC write resumes after a fill
     SI_SYNC = "SiSync"  # synchronization-point self-invalidation, per frame
@@ -109,6 +110,7 @@ class CacheAction(enum.Enum):
     WRITE_GRANTED = "write_granted"
     WRITE_COMPLETE = "write_complete"
     RECORD_INV = "record_inv"
+    CONSUME_SI_NOTICE = "consume_si_notice"
     MARK_UPGRADE_INVALIDATED = "mark_upgrade_invalidated"
     REPLY_INV_ACK = "reply_inv_ack"
     REPLY_INV_ACK_DATA = "reply_inv_ack_data"
@@ -120,6 +122,16 @@ class CacheAction(enum.Enum):
     EVICT_COUNT = "evict_count"
     EVICT_WB = "evict_wb"
     EVICT_REPL = "evict_repl"
+    # Tardis (leased logical timestamps)
+    TARDIS_READ_HIT = "tardis_read_hit"
+    TARDIS_WRITE_HIT = "tardis_write_hit"
+    LEASE_EXPIRE_SI = "lease_expire_si"
+    TARDIS_FILL_S = "tardis_fill_s"
+    TARDIS_FILL_E = "tardis_fill_e"
+    TARDIS_APPLY_UPGRADE = "tardis_apply_upgrade"
+    TARDIS_OWNER_WB = "tardis_owner_wb"
+    DROP_STALE_WB_REQ = "drop_stale_wb_req"
+    EVICT_WB_TS = "evict_wb_ts"
 
 
 class DirState(enum.Enum):
@@ -171,6 +183,12 @@ class DirAction(enum.Enum):
     FINISH_TXN = "finish_txn"
     SEND_ACK_DONE = "send_ack_done"
     DRAIN_DEFERRED = "drain_deferred"
+    # Tardis (leased logical timestamps)
+    TARDIS_GRANT_READ = "tardis_grant_read"
+    TARDIS_GRANT_WRITE = "tardis_grant_write"
+    TARDIS_GRANT_UPGRADE = "tardis_grant_upgrade"
+    REQUEST_WB = "request_wb"
+    ACCEPT_OWNER_TS = "accept_owner_ts"
 
 
 #: Result values handed back to the processor (mirrors protocol.controller).

@@ -97,13 +97,16 @@ _DATA_CARRIERS = ("DATA", "DATA_EX", "INV_ACK_DATA", "WB", "SI_NOTIFY")
 Frame = namedtuple("Frame", ("st", "dirty", "si", "data"))  # st: 'S'|'T'|'E'
 Mshr = namedtuple("Mshr", ("kind", "invalidated", "acks_pending",
                            "pending_write", "poisoned"))
-CacheN = namedtuple("CacheN", ("frame", "mshr", "fifo", "screm"))
+#: ``notice``: a self-invalidation SI_NOTIFY collected at a flush but not
+#: yet injected into the node->home lane (the flush cost delays the send;
+#: replies to incoming messages can enter the lane ahead of it)
+CacheN = namedtuple("CacheN", ("frame", "mshr", "fifo", "screm", "notice"))
 Txn = namedtuple("Txn", ("kind", "src", "req", "pending", "waiting_wb",
                          "wc_parallel", "upgrade_grant", "si", "migratory_read"))
 DirE = namedtuple("DirE", ("state", "owner", "sharers", "shared_si", "flavor",
                            "migratory", "last_writer", "data", "txn", "deferred"))
 
-_EMPTY_CACHE = CacheN(None, None, False, False)
+_EMPTY_CACHE = CacheN(None, None, False, False, None)
 _INIT_DIR = DirE("I", None, frozenset(), False, "plain", False, None, 0, None, ())
 
 
@@ -151,6 +154,8 @@ class _CacheCtx:
         self.wb_full = False  # needs >1 block to fill (coalescing buffer)
         self.tearoff_grant = bool(msg is not None and msg.tearoff)
         self.acks_pending_grant = bool(msg is not None and msg.acks_pending)
+        notice = getattr(w.caches[node], "notice", None)
+        self.si_notice_dirty = notice is not None and notice.carries_data
         self.inv_data = 0
 
 
@@ -179,6 +184,9 @@ class _DirCtx:
 class Checker:
     """Breadth-first exploration of one variant's reachable state space."""
 
+    #: working-copy class (subclasses carry extra state components)
+    W = _W
+
     def __init__(self, variant, bugs=NO_BUGS, nodes=2, ops=3,
                  max_states=400_000):
         self.variant = variant
@@ -204,14 +212,17 @@ class Checker:
     # ------------------------------------------------------------------
     # Exploration driver
     # ------------------------------------------------------------------
-    def run(self):
-        init = (
+    def _init_state(self):
+        return (
             (_EMPTY_CACHE,) * self.nodes,
             _INIT_DIR,
             (),
             0,
             self.ops,
         )
+
+    def run(self):
+        init = self._init_state()
         seen = {init: (None, None)}
         frontier = deque([init])
         while frontier:
@@ -225,7 +236,7 @@ class Checker:
                     return self
                 continue
             for desc, apply_fn in moves:
-                w = _W(state, self.nodes)
+                w = self.W(state, self.nodes)
                 try:
                     apply_fn(w)
                     err = self._invariants(w)
@@ -274,7 +285,11 @@ class Checker:
         for n in range(self.nodes):
             cn = caches[n]
             mshr = cn.mshr
-            blocked = mshr is not None and (
+            # A held notice blocks new processor ops: requests leave via
+            # the same outgoing resource as the pending send, so nothing
+            # issued after the flush can overtake the notice (only
+            # *replies* to incoming messages can).
+            blocked = cn.notice is not None or mshr is not None and (
                 not variant.wc or mshr.kind == "read"
             )
             if ops[n] > 0 and not blocked:
@@ -300,6 +315,8 @@ class Checker:
                 moves.append((f"n{n}: evict", self._evict_move(n)))
             if variant.fifo and cn.fifo:
                 moves.append((f"n{n}: fifo-overflow", self._overflow_move(n)))
+            if cn.notice is not None:
+                moves.append((f"n{n}: notice-send", self._notice_move(n)))
         for (src, dst), msgs in lanes:
             moves.append((
                 f"deliver {msgs[0].kind} {src}->{dst}",
@@ -349,6 +366,14 @@ class Checker:
         def apply(w):
             w.caches[node] = w.caches[node]._replace(fifo=False)
             self._cdispatch(w, node, CE.SI_OVERFLOW)
+        return apply
+
+    def _notice_move(self, node):
+        """The delayed flush send injects the held notice into the lane."""
+        def apply(w):
+            notice = w.caches[node].notice
+            self._cset(w, node, notice=None)
+            w.send(notice)
         return apply
 
     def _deliver_move(self, src, dst):
@@ -568,6 +593,11 @@ class Checker:
         frame = w.caches[node].frame
         ctx.inv_data = frame.data if frame is not None else 0
 
+    def _c_consume_si_notice(self, w, node, ctx):
+        notice = w.caches[node].notice
+        ctx.inv_data = notice.data
+        self._cset(w, node, notice=None)
+
     def _c_mark_upgrade_invalidated(self, w, node, ctx):
         self._mshr_set(w, node, invalidated=True)
 
@@ -578,16 +608,20 @@ class Checker:
         w.send(Msg("INV_ACK_DATA", node, DIR, carries_data=True,
                    data=ctx.inv_data))
 
-    def _si_notify(self, w, node, frame):
-        w.send(Msg("SI_NOTIFY", node, DIR, carries_data=frame.dirty,
-                   data=frame.data, si_marked=True))
+    def _hold_si_notice(self, w, node, frame):
+        # The flush cost delays the actual send: the notice sits at the
+        # node until the explicit notice-send move fires, so replies to
+        # incoming messages can enter the lane ahead of it.
+        self._cset(w, node, frame=None, notice=Msg(
+            "SI_NOTIFY", node, DIR, carries_data=frame.dirty,
+            data=frame.data, si_marked=True,
+        ))
 
     def _c_si_sync_silent(self, w, node, ctx):
         self._cset(w, node, frame=None)
 
     def _c_si_sync_notify(self, w, node, ctx):
-        self._si_notify(w, node, w.caches[node].frame)
-        self._cset(w, node, frame=None)
+        self._hold_si_notice(w, node, w.caches[node].frame)
 
     def _c_si_early_silent(self, w, node, ctx):
         self._cset(w, node, frame=None)
@@ -595,8 +629,7 @@ class Checker:
     def _c_si_early_notify(self, w, node, ctx):
         frame = w.caches[node].frame
         if frame is not None:
-            self._si_notify(w, node, frame)
-            self._cset(w, node, frame=None)
+            self._hold_si_notice(w, node, frame)
         else:
             # Bug row: the stale FIFO entry names the tag of the miss in
             # flight — the frame the fill was bound for is yanked.
@@ -888,6 +921,8 @@ class Checker:
         for cn in w.caches:
             if cn.frame is not None:
                 latest = max(latest, cn.frame.data)
+            if cn.notice is not None and cn.notice.carries_data:
+                latest = max(latest, cn.notice.data)
         for msgs in w.lanes.values():
             for msg in msgs:
                 if msg.kind in _DATA_CARRIERS and msg.carries_data:
@@ -932,7 +967,13 @@ def default_configs(variant):
     reader re-shares the block), which only WC variants have; for those
     a third node with asymmetric budgets (2, 1, 1) adds it while keeping
     the space tractable.
+
+    Tardis variants always add the third node: the home's serialization
+    queue (``B_WB`` + DEFER) only fills when a second requester races
+    the owner's writeback.
     """
+    if getattr(variant, "tardis", False):
+        return ((2, 3), (3, (2, 1, 1)))
     configs = [(2, 3)]
     if variant.wc:
         configs.append((3, (2, 1, 1)))
@@ -950,13 +991,18 @@ def check_variant(variant, bugs=NO_BUGS, configs=None,
     """
     if configs is None:
         configs = default_configs(variant)
+    if variant.tardis:
+        from repro.coherence.explore_tardis import TardisChecker
+        checker_cls = TardisChecker
+    else:
+        checker_cls = Checker
     report = VariantReport(variant, bugs)
     fired_cache = set()
     fired_dir = set()
     checker = None
     for n, ops in configs:
-        checker = Checker(variant, bugs, nodes=n, ops=ops,
-                          max_states=max_states).run()
+        checker = checker_cls(variant, bugs, nodes=n, ops=ops,
+                              max_states=max_states).run()
         report.states += checker.states
         fired_cache.update(checker.ccov.fired)
         fired_dir.update(checker.dcov.fired)

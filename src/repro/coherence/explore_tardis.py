@@ -1,0 +1,466 @@
+"""Reachable-state-space checker for the Tardis tables.
+
+Interprets the *production* Tardis transition tables
+(:mod:`repro.coherence.tardis`) against a small abstract machine, like
+:class:`~repro.coherence.explore.Checker` does for the DSI family — but
+the model carries the timestamp algebra: per-copy ``wts``/``rts``,
+per-node ``pts``, per-entry directory timestamps, and the complete
+**write history** of the one modelled block (which logical time each
+value was written at).
+
+Extra nondeterminism beyond the base checker's op/delivery/evict moves:
+
+* **pts advance** — a node's program timestamp jumps past a leased
+  copy's ``rts`` (abstracting accesses to *other* blocks, whose fills
+  and writes drag ``pts`` forward), making lease expiry reachable.  The
+  move is self-limiting: once ``pts > rts`` it is disabled until a fresh
+  lease is installed, so timestamps stay bounded.
+
+Invariants, checked in every reachable state:
+
+* **single-writer** — at most one exclusive copy (leased shared copies
+  legally coexist with the owner: they are readable only at logical
+  times before the owner's write);
+* **timestamp data-value** — every copy's value is exactly the value
+  written at its ``wts``, and a read at logical time ``ts`` observes
+  the latest write with ``wts <= ts`` (checked at every read hit and
+  every fill against the write history) — the lease-aware analogue of
+  the base checker's data-value invariant;
+* **latest-write reachability** — the most recent write's value is
+  never lost (directory, a cache frame, or a data-carrying message);
+* **no-stuck-transaction** and **error rows** as in the base checker.
+
+The :class:`~repro.coherence.variants.Bugs` knob
+``tardis_write_ignores_lease`` re-introduces the one protocol mistake
+the timestamp invariant exists to catch: granting a write at
+``wts + 1`` instead of ``max(pts, rts + 1)`` leaves the write *inside*
+an outstanding lease, so a leased reader observes the stale value at a
+logical time at-or-after the write.
+"""
+
+from collections import namedtuple
+
+from repro.coherence.events import (
+    CacheEvent as CE,
+    CacheState as CS,
+    DirEvent as DE,
+    DirState as DS,
+)
+from repro.coherence.explore import DIR, Checker, Violation, _W
+from repro.coherence.variants import NO_BUGS
+
+#: one in-flight message: ``ts`` piggybacks the requester's pts on a
+#: request (and the cached copy's wts on an UPGRADE via ``wts``);
+#: responses and writebacks carry the block's ``wts``/``rts``.
+TMsg = namedtuple(
+    "TMsg", ("kind", "src", "dst", "carries_data", "data", "wts", "rts", "ts")
+)
+TMsg.__new__.__defaults__ = (False, 0, 0, 0, 0)
+
+TFrame = namedtuple("TFrame", ("st", "dirty", "data", "wts", "rts"))  # st 'S'|'E'
+TMshr = namedtuple("TMshr", ("kind", "pending_write"))
+TCache = namedtuple("TCache", ("frame", "mshr", "pts"))
+TTxn = namedtuple("TTxn", ("kind", "src", "req", "waiting_wb"))
+TDir = namedtuple("TDir", ("state", "owner", "wts", "rts", "data", "txn", "deferred"))
+
+_EMPTY_CACHE = TCache(None, None, 0)
+_INIT_DIR = TDir("I", None, 0, 0, 0, None, ())
+
+_CACHE_EVENTS = {
+    "DATA": CE.DATA,
+    "DATA_EX": CE.DATA_EX,
+    "UPGRADE_ACK": CE.UPGRADE_ACK,
+    "WB_REQ": CE.WB_REQ,
+}
+_DIR_EVENTS = {
+    "GETS": DE.GETS,
+    "GETX": DE.GETX,
+    "UPGRADE": DE.UPGRADE,
+    "WB": DE.WB,
+}
+_DATA_CARRIERS = ("DATA", "DATA_EX", "WB")
+
+
+class _TW(_W):
+    """Working copy with the block's write history as a sixth component.
+
+    ``writes`` is the tuple of write timestamps in order: the value
+    written at ``writes[i]`` is ``i + 1`` (values are the global write
+    sequence number, as in the base model), and 0 is the never-written
+    initial value at logical time 0.  Write timestamps are strictly
+    increasing, so the tuple doubles as a sorted index.
+    """
+
+    __slots__ = ("writes",)
+
+    def __init__(self, state, nodes):
+        caches, entry, lanes, seq, ops, writes = state
+        self.caches = list(caches)
+        self.dir = entry
+        self.lanes = {key: list(msgs) for key, msgs in lanes}
+        self.seq = seq
+        self.ops = list(ops)
+        self.writes = writes
+
+    def freeze(self):
+        lanes = tuple(sorted(
+            (key, tuple(msgs)) for key, msgs in self.lanes.items() if msgs
+        ))
+        return (tuple(self.caches), self.dir, lanes, self.seq,
+                tuple(self.ops), self.writes)
+
+    # -- write-history queries -----------------------------------------
+    def value_at(self, wts):
+        """The value written at exactly logical time ``wts`` (0 = initial)."""
+        if wts == 0:
+            return 0
+        try:
+            return self.writes.index(wts) + 1
+        except ValueError:
+            return None
+
+    def later_write(self, wts, upto):
+        """The first write timestamp in ``(wts, upto]``, or None."""
+        for w in self.writes:
+            if wts < w <= upto:
+                return w
+        return None
+
+
+class _CacheCtx:
+    """Guard context for one Tardis cache dispatch."""
+
+    def __init__(self, w, node, msg=None, victim=None):
+        cn = w.caches[node]
+        self.msg = msg
+        self.victim = victim
+        mshr = cn.mshr
+        self.pending_write = mshr is not None and mshr.pending_write
+        self.wb_full = False  # needs >1 block to fill (coalescing buffer)
+        self.lease_expired = cn.frame is not None and cn.pts > cn.frame.rts
+
+
+class _DirCtx:
+    """Guard context for one Tardis directory dispatch."""
+
+    def __init__(self, entry, msg):
+        self.msg = msg
+        self.owner_is_requester = entry.owner == msg.src
+        self.from_owner = entry.owner == msg.src
+        self.requester_current = msg.wts == entry.wts
+
+
+class TardisChecker(Checker):
+    """Breadth-first exploration of a Tardis variant's state space."""
+
+    W = _TW
+
+    def __init__(self, variant, bugs=NO_BUGS, nodes=2, ops=3,
+                 max_states=400_000, lease=1):
+        super().__init__(variant, bugs, nodes=nodes, ops=ops,
+                         max_states=max_states)
+        self.lease = lease
+
+    def _init_state(self):
+        return ((_EMPTY_CACHE,) * self.nodes, _INIT_DIR, (), 0, self.ops, ())
+
+    # ------------------------------------------------------------------
+    # Move enumeration
+    # ------------------------------------------------------------------
+    def _moves(self, state):
+        caches, entry, lanes, seq, ops, writes = state
+        variant = self.variant
+        moves = []
+        for n in range(self.nodes):
+            cn = caches[n]
+            mshr = cn.mshr
+            blocked = mshr is not None and (
+                not variant.wc or mshr.kind == "read"
+            )
+            if ops[n] > 0 and not blocked:
+                moves.append((f"n{n}: LOAD", self._op_move(n, CE.LOAD, False)))
+                moves.append((f"n{n}: STORE", self._op_move(n, CE.STORE, False)))
+                if mshr is None:
+                    moves.append((
+                        f"n{n}: SYNC_STORE",
+                        self._op_move(n, CE.SYNC_STORE, False),
+                    ))
+            if cn.frame is not None and mshr is None:
+                moves.append((f"n{n}: evict", self._evict_move(n)))
+            if cn.frame is not None and cn.frame.st == "S" \
+                    and cn.pts <= cn.frame.rts:
+                moves.append((f"n{n}: advance-pts", self._advance_move(n)))
+        for (src, dst), msgs in lanes:
+            moves.append((
+                f"deliver {msgs[0].kind} {src}->{dst}",
+                self._deliver_move(src, dst),
+            ))
+        return moves
+
+    def _stuck_reason(self, state):
+        caches, entry, lanes, seq, ops, writes = state
+        return super()._stuck_reason((caches, entry, lanes, seq, ops))
+
+    def _advance_move(self, node):
+        def apply(w):
+            cn = w.caches[node]
+            # Past the lease by exactly one tick: enough to expire it,
+            # small enough to keep the timestamp space bounded.
+            self._cset(w, node, pts=cn.frame.rts + 1)
+        return apply
+
+    def _evict_move(self, node):
+        def apply(w):
+            victim = w.caches[node].frame
+            self._cset(w, node, frame=None)
+            ctx = _CacheCtx(w, node, victim=victim)
+            self._crow(w, node, CS.E if victim.st == "E" else CS.S,
+                       CE.EVICT, ctx)
+        return apply
+
+    def _deliver_cache(self, w, node, msg):
+        self._cdispatch(w, node, _CACHE_EVENTS[msg.kind], msg=msg)
+
+    # ------------------------------------------------------------------
+    # Cache-side interpreter
+    # ------------------------------------------------------------------
+    def _cache_state(self, cn):
+        mshr = cn.mshr
+        if mshr is not None:
+            if mshr.kind == "read":
+                return CS.IS_D
+            if mshr.kind == "write":
+                return CS.IM_D
+            return CS.SM_W
+        if cn.frame is None:
+            return CS.I
+        return CS.E if cn.frame.st == "E" else CS.S
+
+    def _cdispatch(self, w, node, event, msg=None, state=None, hint=False):
+        if state is None:
+            state = self._cache_state(w.caches[node])
+        ctx = _CacheCtx(w, node, msg=msg)
+        self._crow(w, node, state, event, ctx)
+
+    # -- timestamp invariant helpers -----------------------------------
+    def _check_copy(self, w, node, data, wts, what):
+        value = w.value_at(wts)
+        if value != data:
+            raise Violation(
+                f"timestamp data-value violated: {what} at node {node} "
+                f"holds value {data} stamped wts {wts}, but the write at "
+                f"wts {wts} produced {value}"
+            )
+
+    def _check_read(self, w, node, frame):
+        at = max(w.caches[node].pts, frame.wts)
+        if at > frame.rts:
+            raise Violation(
+                f"lease violated: node {node} read at logical time {at} "
+                f"past the copy's rts {frame.rts}"
+            )
+        self._check_copy(w, node, frame.data, frame.wts, "read copy")
+        later = w.later_write(frame.wts, at)
+        if later is not None:
+            raise Violation(
+                f"timestamp data-value violated: node {node} read the "
+                f"value written at wts {frame.wts} at logical time {at}, "
+                f"missing the later write at wts {later} "
+                f"(value {w.value_at(later)})"
+            )
+
+    def _write(self, w, node, wts, rts):
+        """Commit a write at logical time ``wts``: next sequence value."""
+        if w.writes and wts <= w.writes[-1]:
+            raise Violation(
+                f"timestamp order violated: node {node} wrote at wts {wts} "
+                f"not after the previous write's wts {w.writes[-1]}"
+            )
+        w.seq += 1
+        w.writes = w.writes + (wts,)
+        self._cset(w, node,
+                   frame=TFrame("E", True, w.seq, wts, rts),
+                   pts=max(w.caches[node].pts, wts))
+
+    # -- cache action models -------------------------------------------
+    def _c_tardis_read_hit(self, w, node, ctx):
+        frame = w.caches[node].frame
+        self._check_read(w, node, frame)
+        self._cset(w, node, pts=max(w.caches[node].pts, frame.wts))
+
+    def _c_lease_expire_si(self, w, node, ctx):
+        self._cset(w, node, frame=None)
+
+    def _c_tardis_write_hit(self, w, node, ctx):
+        cn = w.caches[node]
+        frame = cn.frame
+        self._write(w, node, max(cn.pts, frame.rts + 1),
+                    max(cn.pts, frame.rts + 1))
+
+    def _c_send_gets(self, w, node, ctx):
+        w.send(TMsg("GETS", node, DIR, ts=w.caches[node].pts))
+
+    def _c_send_getx(self, w, node, ctx):
+        w.send(TMsg("GETX", node, DIR, ts=w.caches[node].pts))
+
+    def _c_send_upgrade(self, w, node, ctx):
+        cn = w.caches[node]
+        w.send(TMsg("UPGRADE", node, DIR, wts=cn.frame.wts, ts=cn.pts))
+
+    def _c_tardis_fill_s(self, w, node, ctx):
+        msg = ctx.msg
+        self._check_copy(w, node, msg.data, msg.wts, "lease fill")
+        self._cset(w, node,
+                   frame=TFrame("S", False, msg.data, msg.wts, msg.rts),
+                   pts=max(w.caches[node].pts, msg.wts))
+
+    def _c_tardis_fill_e(self, w, node, ctx):
+        self._write(w, node, ctx.msg.wts, ctx.msg.rts)
+        self._cset(w, node, mshr=None)
+
+    def _c_tardis_apply_upgrade(self, w, node, ctx):
+        self._write(w, node, ctx.msg.wts, ctx.msg.rts)
+
+    def _c_write_granted(self, w, node, ctx):
+        self._cset(w, node, mshr=None)
+
+    def _c_promote_to_exclusive(self, w, node, ctx):
+        pass  # the upgrade's write installs the exclusive frame
+
+    def _c_tardis_owner_wb(self, w, node, ctx):
+        frame = w.caches[node].frame
+        w.send(TMsg("WB", node, DIR, carries_data=True, data=frame.data,
+                    wts=frame.wts, rts=frame.rts))
+        self._cset(w, node, frame=None)
+
+    def _c_drop_stale_wb_req(self, w, node, ctx):
+        pass
+
+    def _c_evict_wb_ts(self, w, node, ctx):
+        victim = ctx.victim
+        w.send(TMsg("WB", node, DIR, carries_data=True, data=victim.data,
+                    wts=victim.wts, rts=victim.rts))
+
+    def _c_alloc_mshr_read(self, w, node, ctx):
+        self._cset(w, node, mshr=TMshr("read", False))
+
+    def _c_alloc_mshr_write(self, w, node, ctx):
+        self._cset(w, node, mshr=TMshr("write", False))
+
+    def _c_pin_alloc_mshr_upgrade(self, w, node, ctx):
+        self._cset(w, node, mshr=TMshr("upgrade", False))
+
+    # ------------------------------------------------------------------
+    # Directory-side interpreter
+    # ------------------------------------------------------------------
+    def _dir_state(self, entry):
+        if entry.txn is not None:
+            return DS.B_WB
+        return DS.EXCL if entry.state == "E" else DS.IDLE
+
+    def _ddispatch(self, w, msg, state=None):
+        entry = w.dir
+        if state is None:
+            state = self._dir_state(entry)
+        self._drow(w, state, _DIR_EVENTS[msg.kind], _DirCtx(entry, msg))
+
+    # -- directory action models ---------------------------------------
+    def _d_begin_read_txn(self, w, ctx):
+        self._dset(w, txn=TTxn("read", ctx.msg.src, ctx.msg, False))
+
+    def _d_begin_write_txn(self, w, ctx):
+        self._dset(w, txn=TTxn("write", ctx.msg.src, ctx.msg, False))
+
+    def _d_await_wb(self, w, ctx):
+        self._dset(w, txn=w.dir.txn._replace(waiting_wb=True))
+
+    def _d_request_wb(self, w, ctx):
+        w.send(TMsg("WB_REQ", DIR, w.dir.owner))
+
+    def _d_tardis_grant_read(self, w, ctx):
+        entry = w.dir
+        msg = ctx.msg
+        rts = max(entry.rts, max(msg.ts, entry.wts) + self.lease)
+        self._dset(w, rts=rts)
+        w.send(TMsg("DATA", DIR, msg.src, carries_data=True,
+                    data=entry.data, wts=entry.wts, rts=rts))
+
+    def _grant_excl(self, w, ctx, upgrade):
+        entry = w.dir
+        msg = ctx.msg
+        if self.bugs.tardis_write_ignores_lease:
+            # The reverted mistake: the write lands after the previous
+            # write but *inside* outstanding read leases.
+            wts = max(msg.ts, entry.wts + 1)
+        else:
+            wts = max(msg.ts, entry.rts + 1)
+        self._dset(w, state="E", owner=msg.src, wts=wts, rts=wts)
+        kind = "UPGRADE_ACK" if upgrade else "DATA_EX"
+        w.send(TMsg(kind, DIR, msg.src, carries_data=kind == "DATA_EX",
+                    data=entry.data, wts=wts, rts=wts))
+
+    def _d_tardis_grant_write(self, w, ctx):
+        self._grant_excl(w, ctx, upgrade=False)
+
+    def _d_tardis_grant_upgrade(self, w, ctx):
+        self._grant_excl(w, ctx, upgrade=True)
+
+    def _d_accept_owner_ts(self, w, ctx):
+        entry = w.dir
+        msg = ctx.msg
+        self._dset(w, data=msg.data, wts=max(entry.wts, msg.wts),
+                   rts=max(entry.rts, msg.rts), owner=None, state="I")
+
+    def _d_restart_waiting_request(self, w, ctx):
+        req = w.dir.txn.req
+        self._dset(w, txn=None)
+        self._ddispatch(w, req)
+        self._d_drain_deferred(w, ctx)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def _invariants(self, w):
+        exclusive = [
+            n for n, cn in enumerate(w.caches)
+            if cn.frame is not None and cn.frame.st == "E"
+        ]
+        if len(exclusive) > 1:
+            return f"single-writer violated: nodes {exclusive} both exclusive"
+        for n, cn in enumerate(w.caches):
+            frame = cn.frame
+            if frame is None:
+                continue
+            if frame.wts > frame.rts:
+                return (
+                    f"timestamp order violated: node {n} holds wts "
+                    f"{frame.wts} > rts {frame.rts}"
+                )
+            if w.value_at(frame.wts) != frame.data:
+                return (
+                    f"timestamp data-value violated: node {n} holds value "
+                    f"{frame.data} stamped wts {frame.wts}, but the write "
+                    f"at wts {frame.wts} produced {w.value_at(frame.wts)}"
+                )
+            inside = w.later_write(frame.wts, frame.rts)
+            if inside is not None:
+                return (
+                    f"timestamp data-value violated: the write at wts "
+                    f"{inside} (value {w.value_at(inside)}) landed inside "
+                    f"node {n}'s lease [{frame.wts}, {frame.rts}] — a read "
+                    f"at logical time {inside} would miss it"
+                )
+        latest = w.dir.data
+        for cn in w.caches:
+            if cn.frame is not None:
+                latest = max(latest, cn.frame.data)
+        for msgs in w.lanes.values():
+            for msg in msgs:
+                if msg.kind in _DATA_CARRIERS and msg.carries_data:
+                    latest = max(latest, msg.data)
+        if latest != w.seq:
+            return (
+                f"data-value violated: latest write {w.seq} lost "
+                f"(best reachable value {latest})"
+            )
+        return None

@@ -1,0 +1,330 @@
+"""Tardis transition tables: leased logical timestamps (Yu & Devadas,
+PACT'15) on the same table engine that drives the DSI variants.
+
+The protocol replaces the full-map sharer tracking with two logical
+timestamps per block — ``wts`` (when it was last written) and ``rts``
+(until when it may be read) — plus a per-node program timestamp ``pts``:
+
+* a read *leases* the block: the home returns data with
+  ``rts = max(rts, max(pts, wts) + lease)`` and the copy stays readable
+  while ``pts <= rts``;
+* a write *jumps* time past every outstanding lease:
+  ``wts' = max(pts, rts + 1)``, so leased readers keep observing the old
+  value only at logical times *before* the write — which is
+  sequentially consistent in logical time;
+* an expired lease (``pts > rts``) is a **free self-invalidation**: the
+  copy dies without an INV, an ack, or any message at all, and the next
+  read simply renews through the home;
+* exclusive ownership moves the freshest ``wts``/``rts`` (and data) into
+  the owner's cache; when another node needs the block the home asks the
+  owner for a timestamped writeback (``WB_REQ`` → ``WB``) instead of
+  invalidating it.
+
+Consequently the table has **no INV, no INV_ACK, no parallel-grant
+machinery, no tear-off and no identification scheme** — self-invalidation
+is the timestamp algebra itself.  Shared copies are evicted and expire
+silently (the home tracks no sharers), so the only notification kind
+left is the owner's writeback.
+
+Cache-side guard names (attributes of the dispatch context):
+
+``lease_expired``   the valid leased copy is no longer readable
+                    (``pts > frame.rts``)
+``pending_write``, ``wb_full``  as in the base table (WC write buffer)
+
+Directory-side guard names:
+
+``owner_is_requester``  the exclusive owner re-requests (late-WB race)
+``from_owner``          the writeback's source is the recorded owner
+``requester_current``   an UPGRADE presented ``wts`` equal to the memory
+                        copy's — exclusivity can be granted without data
+"""
+
+from repro.coherence.events import (
+    DONE,
+    HIT,
+    WAIT,
+    CacheAction as CA,
+    CacheEvent as CE,
+    CacheState as CS,
+    DirAction as DA,
+    DirEvent as DE,
+    DirState as DS,
+)
+from repro.coherence.table import (
+    DEFENSIVE,
+    MULTIBLOCK,
+    NORMAL,
+    Transition as T,
+    TransitionTable,
+    rows,
+)
+
+#: Cache states a Tardis cache can occupy (no tear-off T, no SM_WI — an
+#: upgrade can never be invalidated underneath — and no E_A — grants
+#: never wait on invalidation acks).
+CACHE_STATES = (CS.I, CS.S, CS.E, CS.IS_D, CS.IM_D, CS.SM_W)
+
+#: Directory states: memory owns (IDLE, leases outstanding or not), a
+#: cache owns (EXCL), or the home waits for the owner's writeback (B_WB).
+DIR_STATES = (DS.IDLE, DS.EXCL, DS.B_WB)
+
+
+# ----------------------------------------------------------------------
+# Cache side
+# ----------------------------------------------------------------------
+def build_tardis_cache_table(variant, bugs):
+    t = []
+    t += _load_rows(variant)
+    t += _store_rows(variant)
+    t += _response_rows(variant)
+    t += _wb_req_rows(variant)
+    t += _evict_rows(variant)
+    # The whole point: no invalidations ever arrive.
+    t += rows(CACHE_STATES, CE.INV, error="INV under Tardis (leases expire; "
+              "the home never invalidates)")
+    t += rows(CACHE_STATES, CE.ACK_DONE,
+              error="ACK_DONE under Tardis (no parallel grants)")
+    return TransitionTable("cache", variant, t)
+
+
+def _load_rows(variant):
+    t = [
+        T(CS.S, CE.LOAD, guards=("lease_expired",),
+          actions=(CA.COUNT_READ_MISS, CA.LEASE_EXPIRE_SI, CA.ALLOC_MSHR_READ,
+                   CA.SEND_GETS),
+          next_state=CS.IS_D, result=WAIT,
+          doc="expired lease: free self-invalidation, renew through the home"),
+        T(CS.S, CE.LOAD, actions=(CA.TARDIS_READ_HIT,), result=HIT,
+          doc="leased hit (pts <= rts); pts catches up to wts"),
+        T(CS.E, CE.LOAD, actions=(CA.TARDIS_READ_HIT,), result=HIT,
+          doc="the owner's copy never expires"),
+        T(CS.SM_W, CE.LOAD, guards=("lease_expired",),
+          actions=(CA.QUEUE_READ_WAITER,), result=WAIT,
+          kind=NORMAL if variant.wc else DEFENSIVE,
+          doc="the pinned upgrade copy's lease ran out: read after the grant"),
+        T(CS.SM_W, CE.LOAD, actions=(CA.TARDIS_READ_HIT,), result=HIT,
+          kind=NORMAL if variant.wc else DEFENSIVE,
+          doc="the leased copy under an upgrade is still readable (SC "
+              "stores block, so no load can issue under an SC upgrade)"),
+        T(CS.IS_D, CE.LOAD, error="second read issued"),
+        T(CS.IM_D, CE.LOAD, actions=(CA.QUEUE_READ_WAITER,), result=WAIT,
+          kind=NORMAL if variant.wc else DEFENSIVE,
+          doc='"read wb": wait for the outstanding write\'s data'),
+        T(CS.I, CE.LOAD,
+          actions=(CA.COUNT_READ_MISS, CA.ALLOC_MSHR_READ, CA.SEND_GETS),
+          next_state=CS.IS_D, result=WAIT, doc="read miss"),
+    ]
+    return t
+
+
+def _store_rows(variant):
+    # Blocking stores: every STORE under SC, only SYNC_STORE under WC.
+    events = (CE.SYNC_STORE,) if variant.wc else (CE.STORE, CE.SYNC_STORE)
+    t = rows(CS.E, events, actions=(CA.TARDIS_WRITE_HIT,), result=DONE,
+             doc="owner write: wts = rts = max(pts, rts + 1)")
+    t += rows((CS.IS_D, CS.IM_D, CS.SM_W), events,
+              error="second blocking write issued")
+    t += [
+        T(CS.S, ev,
+          actions=(CA.COUNT_WRITE_MISS, CA.PIN_ALLOC_MSHR_UPGRADE,
+                   CA.SEND_UPGRADE),
+          next_state=CS.SM_W, result=WAIT,
+          doc="upgrade, presenting the copy's wts (the home replies with "
+              "data instead iff the copy is stale — lease validity is "
+              "irrelevant to a write)")
+        for ev in events
+    ]
+    t += [
+        T(CS.I, ev,
+          actions=(CA.COUNT_WRITE_MISS, CA.ALLOC_MSHR_WRITE, CA.SEND_GETX),
+          next_state=CS.IM_D, result=WAIT, doc="write miss")
+        for ev in events
+    ]
+    if not variant.wc:
+        return t
+    # Buffered (WC) stores.
+    t += [
+        T(CS.E, CE.STORE, actions=(CA.TARDIS_WRITE_HIT,), result=DONE,
+          doc="owner write: wts = rts = max(pts, rts + 1)"),
+    ]
+    t += rows((CS.IM_D, CS.SM_W), CE.STORE, actions=(CA.WB_MERGE,),
+              result=DONE, doc="coalesce into the outstanding write's entry")
+    t += [
+        T(CS.IS_D, CE.STORE, guards=("pending_write",),
+          actions=(CA.WB_MERGE_PENDING,), result=DONE, kind=DEFENSIVE,
+          doc="coalesce into the pending write-after-read (the in-order "
+              "processor blocks on loads, so no store can issue here)"),
+        T(CS.IS_D, CE.STORE, guards=("wb_full",), actions=(CA.WB_WAIT_SPACE,),
+          result=WAIT, kind=DEFENSIVE,
+          doc="write buffer full: retry when an entry retires"),
+        T(CS.IS_D, CE.STORE, actions=(CA.WB_ALLOC_PENDING,), result=DONE,
+          kind=DEFENSIVE,
+          doc="buffer the write; upgrade after the read's fill"),
+    ]
+    t += rows((CS.I, CS.S), CE.STORE, guards=("wb_full",),
+              actions=(CA.WB_WAIT_SPACE,), result=WAIT, kind=MULTIBLOCK,
+              doc="write buffer full: retry when an entry retires (needs "
+                  "enough distinct blocks in flight to exhaust the buffer)")
+    t += [
+        T(CS.S, CE.STORE,
+          actions=(CA.COUNT_WRITE_MISS, CA.WB_ALLOC, CA.PIN_ALLOC_MSHR_UPGRADE,
+                   CA.SEND_UPGRADE),
+          next_state=CS.SM_W, result=DONE,
+          doc="buffered upgrade of the leased copy"),
+        T(CS.I, CE.STORE,
+          actions=(CA.COUNT_WRITE_MISS, CA.WB_ALLOC, CA.ALLOC_MSHR_WRITE,
+                   CA.SEND_GETX),
+          next_state=CS.IM_D, result=DONE, doc="buffered write miss"),
+        T(CS.S, CE.WRITE_AFTER_READ,
+          actions=(CA.PIN_ALLOC_MSHR_UPGRADE, CA.SEND_UPGRADE),
+          next_state=CS.SM_W, kind=DEFENSIVE,
+          doc="upgrade the fresh leased copy for the buffered write"),
+    ]
+    return t
+
+
+def _response_rows(variant):
+    t = [
+        T(CS.IS_D, CE.DATA, actions=(CA.POP_CLOSE_MSHR, CA.TARDIS_FILL_S),
+          next_state=CS.S,
+          doc="lease granted: install with the response's wts/rts, "
+              "pts = max(pts, wts)"),
+    ]
+    t += rows((CS.I, CS.S, CS.E, CS.IM_D, CS.SM_W), CE.DATA,
+              error="DATA without a read MSHR")
+    t += [
+        T(CS.IS_D, CE.DATA_EX, error="DATA_EX for a read MSHR"),
+        T(CS.SM_W, CE.DATA_EX,
+          actions=(CA.UNPIN, CA.DROP_STALE_UPGRADE_COPY,
+                   CA.RETRY_DEFERRED_FILLS, CA.TARDIS_FILL_E),
+          next_state=CS.E,
+          doc="the upgrade presented a stale wts (a remote write raced the "
+              "lease): the home answered with fresh data"),
+        T(CS.IM_D, CE.DATA_EX, actions=(CA.TARDIS_FILL_E,), next_state=CS.E,
+          doc="write miss completes: wts = rts = grant timestamp, dirty"),
+    ]
+    t += rows((CS.I, CS.S, CS.E), CE.DATA_EX, error="DATA_EX without an MSHR")
+    t += [
+        T(CS.SM_W, CE.UPGRADE_ACK,
+          actions=(CA.UNPIN, CA.RETRY_DEFERRED_FILLS, CA.PROMOTE_TO_EXCLUSIVE,
+                   CA.TARDIS_APPLY_UPGRADE, CA.WRITE_GRANTED),
+          next_state=CS.E,
+          doc="the copy was current: exclusivity granted without data"),
+    ]
+    t += rows((CS.I, CS.S, CS.E, CS.IS_D, CS.IM_D), CE.UPGRADE_ACK,
+              error="UPGRADE_ACK without an upgrade MSHR")
+    return t
+
+
+def _wb_req_rows(variant):
+    return [
+        T(CS.E, CE.WB_REQ, actions=(CA.TARDIS_OWNER_WB,), next_state=CS.I,
+          doc="the home needs the block: write back data + wts/rts, drop "
+              "ownership"),
+        T(CS.I, CE.WB_REQ, actions=(CA.DROP_STALE_WB_REQ,),
+          doc="the eviction writeback crossed the request: it is already "
+              "on its way to the home"),
+        T(CS.IS_D, CE.WB_REQ, actions=(CA.DROP_STALE_WB_REQ,),
+          doc="ownership already given up (WB in flight), re-request "
+              "deferred at the busy home"),
+        T(CS.IM_D, CE.WB_REQ, actions=(CA.DROP_STALE_WB_REQ,),
+          doc="ownership already given up (WB in flight), re-request "
+              "deferred at the busy home"),
+        T(CS.S, CE.WB_REQ, actions=(CA.DROP_STALE_WB_REQ,), kind=DEFENSIVE,
+          doc="a fresh lease would have to overtake the WB_REQ on the same "
+              "home->node lane (per-pair FIFO rules it out)"),
+        T(CS.SM_W, CE.WB_REQ, actions=(CA.DROP_STALE_WB_REQ,), kind=DEFENSIVE,
+          doc="a fresh lease would have to overtake the WB_REQ on the same "
+              "home->node lane (per-pair FIFO rules it out)"),
+    ]
+
+
+def _evict_rows(variant):
+    return [
+        T(CS.S, CE.EVICT, actions=(CA.EVICT_COUNT,),
+          doc="leased copies die silently: the home tracks no sharers"),
+        T(CS.E, CE.EVICT, actions=(CA.EVICT_COUNT, CA.EVICT_WB_TS),
+          doc="the owner writes back data + wts/rts (owners are always "
+              "dirty: exclusivity is only ever granted to a write)"),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Directory side
+# ----------------------------------------------------------------------
+def build_tardis_dir_table(variant, bugs):
+    t = [
+        T(DS.B_WB, ev, actions=(DA.DEFER,),
+          doc="the block's transactions serialize: queue in arrival order")
+        for ev in (DE.GETS, DE.GETX, DE.UPGRADE)
+    ]
+    t += [
+        T(DS.EXCL, DE.GETS, guards=("owner_is_requester",),
+          actions=(DA.BEGIN_READ_TXN, DA.AWAIT_WB), next_state=DS.B_WB,
+          kind=DEFENSIVE,
+          doc="late-writeback race: the owner's WB is in flight (per-pair "
+              "FIFO delivers the WB before the re-request)"),
+        T(DS.EXCL, DE.GETS,
+          actions=(DA.BEGIN_READ_TXN, DA.AWAIT_WB, DA.REQUEST_WB),
+          next_state=DS.B_WB,
+          doc="ask the owner for a timestamped writeback (no INV: the "
+              "owner keeps no stale lease behind)"),
+        T(DS.IDLE, DE.GETS, actions=(DA.TARDIS_GRANT_READ,),
+          next_state=DS.IDLE,
+          doc="lease grant: rts = max(rts, max(pts, wts) + lease); the "
+              "reader is not recorded"),
+    ]
+    for ev in (DE.GETX, DE.UPGRADE):
+        t += [
+            T(DS.EXCL, ev, guards=("owner_is_requester",),
+              actions=(DA.BEGIN_WRITE_TXN, DA.AWAIT_WB), next_state=DS.B_WB,
+              kind=DEFENSIVE,
+              doc="late-writeback race: the owner's WB is in flight "
+                  "(per-pair FIFO delivers the WB before the re-request)"),
+            T(DS.EXCL, ev,
+              actions=(DA.BEGIN_WRITE_TXN, DA.AWAIT_WB, DA.REQUEST_WB),
+              next_state=DS.B_WB,
+              doc="ask the owner for a timestamped writeback, then grant"),
+        ]
+    t += [
+        T(DS.IDLE, DE.GETX, actions=(DA.TARDIS_GRANT_WRITE,),
+          next_state=DS.EXCL,
+          doc="exclusive grant: wts = rts = max(pts, rts + 1) jumps past "
+              "every outstanding lease"),
+        T(DS.IDLE, DE.UPGRADE, guards=("requester_current",),
+          actions=(DA.TARDIS_GRANT_UPGRADE,), next_state=DS.EXCL,
+          doc="the upgrader's copy matches the memory copy: grant "
+              "exclusivity without data"),
+        T(DS.IDLE, DE.UPGRADE, actions=(DA.TARDIS_GRANT_WRITE,),
+          next_state=DS.EXCL,
+          doc="the upgrader's copy is stale (a later write bumped wts): "
+              "answer with fresh data instead"),
+    ]
+    t += [
+        T(DS.B_WB, DE.WB, guards=("from_owner",),
+          actions=(DA.ACCEPT_OWNER_TS, DA.RESTART_WAITING_REQUEST),
+          doc="the requested (or crossing) writeback arrived: replay the "
+              "waiting request"),
+        T(DS.B_WB, DE.WB, actions=(DA.COUNT_STALE,), next_state=DS.B_WB,
+          kind=DEFENSIVE, doc="writeback from a previous ownership era"),
+        T(DS.EXCL, DE.WB, guards=("from_owner",),
+          actions=(DA.ACCEPT_OWNER_TS,), next_state=DS.IDLE,
+          doc="the owner evicted: data + wts/rts return to memory"),
+        T(DS.EXCL, DE.WB, actions=(DA.COUNT_STALE,), next_state=DS.EXCL,
+          kind=DEFENSIVE, doc="writeback from a previous ownership era"),
+        T(DS.IDLE, DE.WB, actions=(DA.COUNT_STALE,), next_state=DS.IDLE,
+          kind=DEFENSIVE, doc="writeback from a previous ownership era"),
+    ]
+    # Events a Tardis system can never produce: there are no INVs (hence
+    # no acks and no LAST_ACK), leased copies evict silently (no REPL)
+    # and expiry is the self-invalidation (no SI_NOTIFY).
+    t += rows(DIR_STATES, (DE.INV_ACK, DE.INV_ACK_DATA),
+              error="invalidation ack under Tardis (no INV is ever sent)")
+    t += rows(DIR_STATES, DE.REPL,
+              error="REPL under Tardis (leased copies evict silently)")
+    t += rows(DIR_STATES, DE.SI_NOTIFY,
+              error="SI_NOTIFY under Tardis (lease expiry is silent)")
+    t += rows(DIR_STATES, DE.LAST_ACK,
+              error="LAST_ACK under Tardis (no ack collection)")
+    return TransitionTable("directory", variant, t)

@@ -36,13 +36,38 @@ class Bugs:
         crossing WB/SI_NOTIFY/REPL notifications were consumed as
         invalidation-acknowledgment substitutes, letting a stale INV_ACK
         alias into the next transaction.
+    ``tardis_write_ignores_lease``
+        Tardis model bug: a write advances ``wts`` past the previous
+        ``wts`` but *not* past the outstanding read lease (``rts``), so a
+        leased reader can still observe the pre-write value at a logical
+        time at or after the write — exactly what the timestamp-aware
+        data-value invariant exists to catch.
+    ``si_notice_behind_inv_ack``
+        The pre-PR-5 cache-side race behind the pinned WC + STATES +
+        tear-off coherence-order violation: a sync-point flush
+        invalidates frames immediately but queues the SI_NOTIFY sends
+        behind the flush cost, so an INV already queued at the
+        controller was acknowledged *without data* ahead of the dirty
+        notice on the node->home lane.  The home completed the racing
+        transaction with its stale memory copy, granted it onward (a
+        tear-off copy under WC + STATES), cleared the owner, and then
+        dropped the late data-carrying notice as stale — losing the
+        final write.  The fix consumes the queued notice so the data
+        rides the acknowledgment.
     """
 
     fifo_overflow_ignores_mshr: bool = False
     notification_consumed_as_ack: bool = False
+    tardis_write_ignores_lease: bool = False
+    si_notice_behind_inv_ack: bool = False
 
     def __bool__(self):
-        return self.fifo_overflow_ignores_mshr or self.notification_consumed_as_ack
+        return (
+            self.fifo_overflow_ignores_mshr
+            or self.notification_consumed_as_ack
+            or self.tardis_write_ignores_lease
+            or self.si_notice_behind_inv_ack
+        )
 
 
 NO_BUGS = Bugs()
@@ -57,8 +82,16 @@ class ProtocolVariant:
     mechanism: SIMechanism = None  # None when DSI is off
     tearoff: TearoffMode = TearoffMode.OFF
     migratory: bool = False
+    tardis: bool = False
 
     def __post_init__(self):
+        if self.tardis:
+            if self.dsi or self.tearoff is not TearoffMode.OFF or self.migratory:
+                raise ValueError(
+                    "tardis replaces DSI identification, tear-off and the "
+                    "migratory optimization"
+                )
+            return
         if self.dsi and self.mechanism is None:
             raise ValueError("a DSI variant needs a self-invalidation mechanism")
         if not self.dsi and self.mechanism is not None:
@@ -88,6 +121,8 @@ class ProtocolVariant:
 
     @classmethod
     def from_config(cls, config):
+        if config.tardis:
+            return cls(wc=config.consistency is Consistency.WC, tardis=True)
         if config.tearoff:
             tearoff = TearoffMode.WC
         elif config.sc_tearoff:
@@ -105,6 +140,8 @@ class ProtocolVariant:
     def describe(self):
         """Short label, e.g. ``WC+DSI(V)+FIFO+TO`` (mirrors config.describe)."""
         label = "WC" if self.wc else "SC"
+        if self.tardis:
+            return label + "+TARDIS"
         if self.dsi:
             scheme = {
                 IdentifyScheme.STATES: "S",
@@ -151,3 +188,8 @@ def enumerate_variants(migratory=False):
                         )
                     )
     return variants
+
+
+def tardis_variants():
+    """The Tardis family (orthogonal to the DSI knob grid): SC and WC."""
+    return [ProtocolVariant(wc=wc, tardis=True) for wc in (False, True)]

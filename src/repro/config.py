@@ -95,6 +95,19 @@ class SystemConfig:
     home_exclusion: bool = True
     si_flush_cycles_per_block: int = 3  # controller cost per self-invalidated block
 
+    # --- Tardis leased timestamps (Yu & Devadas, PACT'15) ---------------
+    # Replaces sharer tracking with logical leases: reads lease a block
+    # until wts + lease, writes jump the block's timestamp past every
+    # outstanding lease, and self-invalidation falls out of lease expiry
+    # with zero invalidation traffic.  Mutually exclusive with the DSI
+    # identification schemes, tear-off copies and the migratory
+    # optimization (Tardis *is* the self-invalidation mechanism).
+    tardis: bool = False
+    lease: int = 8  # static lease length, in logical timestamp ticks
+    lease_adaptive: bool = False  # per-block adaptive lease predictor
+    lease_min: int = 2  # adaptive predictor floor
+    lease_max: int = 64  # adaptive predictor ceiling
+
     # --- simulation ----------------------------------------------------
     quantum: int = 100  # max cycles of hit-processing per processor event
     check_invariants: bool = False  # enable the SWMR/value protocol monitor
@@ -138,6 +151,22 @@ class SystemConfig:
             raise ConfigError("cache_inval_threshold must be >= 1")
         if self.cache_history_entries < 1:
             raise ConfigError("cache_history_entries must be >= 1")
+        if self.tardis:
+            if self.identify is not IdentifyScheme.NONE:
+                raise ConfigError(
+                    "tardis replaces DSI identification (leases are the "
+                    "self-invalidation mechanism); identify must be NONE"
+                )
+            if self.tearoff or self.sc_tearoff:
+                raise ConfigError("tardis tracks no sharers; tear-off is meaningless")
+            if self.migratory:
+                raise ConfigError(
+                    "the migratory optimization is not modelled under tardis"
+                )
+        if self.lease < 1:
+            raise ConfigError("lease must be >= 1")
+        if not 1 <= self.lease_min <= self.lease_max:
+            raise ConfigError("need 1 <= lease_min <= lease_max")
         if self.quantum < 0:
             raise ConfigError("quantum must be >= 0")
         if self.write_buffer_entries < 1:
@@ -177,6 +206,11 @@ class SystemConfig:
     def describe(self):
         """Short human-readable protocol label, e.g. ``SC+DSI(V)``."""
         label = self.consistency.name
+        if self.tardis:
+            label += f"+TARDIS{self.lease}"
+            if self.lease_adaptive:
+                label += "a"
+            return label
         if self.dsi_enabled:
             scheme = {
                 IdentifyScheme.STATES: "S",

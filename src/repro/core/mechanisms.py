@@ -1,4 +1,4 @@
-"""Cache-side self-invalidation mechanisms (§4.2).
+"""Self-invalidation mechanisms: the DSI schemes (§4.2) and Tardis leases.
 
 The directory marks a response; the cache controller must *record* which
 resident blocks carry the ``s`` bit and invalidate them at a good time.
@@ -16,6 +16,16 @@ resident blocks carry the ``s`` bit and invalidate them at a good time.
     next synchronization point, which is the mechanism's fundamental
     weakness (Figure 5: Sparse).  The FIFO is also flushed at every
     synchronization operation.
+
+:class:`StaticLeasePolicy` / :class:`AdaptiveLeasePolicy`
+    The Tardis counterpart: self-invalidation *is* lease expiry, so the
+    "mechanism" decides lease lengths at the home instead of walking
+    frames at the cache.  The static policy grants a fixed lease; the
+    adaptive one keeps a per-block predictor (``DirEntry.lease``) that
+    grows when an expiry turns out wasted (the renewal finds the block
+    unchanged) and shrinks when a write lands on a block whose leases
+    barely get used — steering each block's lease toward its observed
+    write interval.
 """
 
 from collections import deque
@@ -100,3 +110,83 @@ def make_mechanism(config, cache, node=None, instrument=None):
     if config.si_mechanism is SIMechanism.FIFO:
         return FifoMechanism(cache, config.fifo_entries, node=node, instrument=instrument)
     raise ConfigError(f"unknown self-invalidation mechanism {config.si_mechanism!r}")
+
+
+# ----------------------------------------------------------------------
+# Tardis lease policies
+# ----------------------------------------------------------------------
+class StaticLeasePolicy:
+    """Every read grant extends the block's lease by a fixed length."""
+
+    name = "static-lease"
+
+    def __init__(self, lease):
+        if lease < 1:
+            raise ConfigError("lease must be >= 1")
+        self.lease = lease
+        self.renewals_unchanged = 0  # expiry was wasted: same wts re-leased
+        self.renewals_changed = 0  # expiry was justified: the block had moved
+
+    def lease_for(self, entry):
+        return self.lease
+
+    def on_read_grant(self, entry, renewed, changed):
+        """A read grant happened.  ``renewed`` means the requester held an
+        expired copy of this block (its stale ``wts`` rode the GETS);
+        ``changed`` means that copy's ``wts`` no longer matches memory."""
+        if renewed:
+            if changed:
+                self.renewals_changed += 1
+            else:
+                self.renewals_unchanged += 1
+
+    def on_write_grant(self, entry, slack):
+        """A write grant happened; ``slack = rts - wts`` at the home just
+        before the write's timestamp jump (how far outstanding leases
+        forced the write into the logical future)."""
+
+
+class AdaptiveLeasePolicy(StaticLeasePolicy):
+    """Per-block lease predictor (``DirEntry.lease``; 0 = unprimed).
+
+    Doubles a block's lease when a renewal finds it unchanged (the expiry
+    bought nothing — the lease was too short), halves it when a write
+    jumps over a mostly-idle lease window (read-write sharing — long
+    leases just deepen the stale window).
+    """
+
+    name = "adaptive-lease"
+
+    def __init__(self, lease, lease_min, lease_max):
+        super().__init__(lease)
+        if not 1 <= lease_min <= lease_max:
+            raise ConfigError("need 1 <= lease_min <= lease_max")
+        self.lease_min = lease_min
+        self.lease_max = lease_max
+        self.grows = 0
+        self.shrinks = 0
+
+    def lease_for(self, entry):
+        return entry.lease or self.lease
+
+    def on_read_grant(self, entry, renewed, changed):
+        super().on_read_grant(entry, renewed, changed)
+        if renewed and not changed:
+            grown = min(self.lease_for(entry) * 2, self.lease_max)
+            if grown != entry.lease:
+                self.grows += 1
+            entry.lease = grown
+
+    def on_write_grant(self, entry, slack):
+        if slack <= self.lease_for(entry) // 2:
+            shrunk = max(self.lease_for(entry) // 2, self.lease_min)
+            if shrunk != self.lease_for(entry):
+                self.shrinks += 1
+                entry.lease = shrunk
+
+
+def make_lease_policy(config):
+    """Instantiate the Tardis lease policy selected by ``config``."""
+    if config.lease_adaptive:
+        return AdaptiveLeasePolicy(config.lease, config.lease_min, config.lease_max)
+    return StaticLeasePolicy(config.lease)

@@ -35,6 +35,11 @@ Protocol summary
   transactions.  (Consuming a crossing notification as an ack would let a
   *stale* INV_ACK, still in flight from the previous transaction,
   complete the next transaction early — without the new owner's data.)
+  The cache side upholds the matching guarantee: an INV that lands after
+  a dirty copy self-invalidated but *before* its SI_NOTIFY left the node
+  consumes the queued notice and carries the data on the acknowledgment
+  (``CONSUME_SI_NOTICE``) — a dataless ack overtaking the notice would
+  complete the racing transaction here with a stale memory copy.
 
 DSI hooks
 ---------
@@ -51,6 +56,7 @@ from repro.coherence.dir_table import dir_table
 from repro.coherence.events import DirAction as A, DirEvent as E, DirState as S
 from repro.coherence.variants import ProtocolVariant
 from repro.config import Consistency, IdentifyScheme
+from repro.core.mechanisms import make_lease_policy
 from repro.directory.state import (
     DIR_EXCLUSIVE,
     DIR_IDLE,
@@ -201,6 +207,12 @@ class _Ctx:
     def last_sharer(self):
         return self.entry.sharer_count() == 1
 
+    @property
+    def requester_current(self):
+        # (Tardis) the upgrader's copy matches the memory copy, so
+        # exclusivity can be granted without data.
+        return self.msg.wts == self.entry.wts
+
 
 class DirectoryController:
     """Directory controller for one home node."""
@@ -219,6 +231,7 @@ class DirectoryController:
         self._states_scheme = config.identify is IdentifyScheme.STATES
         self.variant = ProtocolVariant.from_config(config)
         self.table = dir_table(self.variant)
+        self.lease_policy = make_lease_policy(config) if config.tardis else None
 
     # ------------------------------------------------------------------
     # Entry management
@@ -473,6 +486,86 @@ class DirectoryController:
 
     def _act_count_stale(self, ctx):
         self.stale_messages += 1
+
+    # ------------------------------------------------------------------
+    # Tardis actions (leased logical timestamps)
+    # ------------------------------------------------------------------
+    def _act_tardis_grant_read(self, ctx):
+        entry, msg = ctx.entry, ctx.msg
+        # A non-zero wts on a GETS is the requester's expired/lost copy:
+        # the renewal tells us whether that self-invalidation was wasted.
+        renewed = msg.wts != 0
+        changed = renewed and msg.wts != entry.wts
+        self.lease_policy.on_read_grant(entry, renewed, changed)
+        lease = self.lease_policy.lease_for(entry)
+        entry.rts = max(entry.rts, max(msg.ts or 0, entry.wts) + lease)
+        self.network.send(
+            Message(
+                MsgKind.DATA,
+                msg.block,
+                src=self.node,
+                dst=msg.src,
+                data=entry.data,
+                carries_data=True,
+                wts=entry.wts,
+                rts=entry.rts,
+            )
+        )
+        if self.obs is not None:
+            self.obs.lease_grant(self.node, msg.block, msg.src, lease, renewed, changed)
+            self.obs.dir_grant(self.node, msg.block, msg.src, "read", False, False)
+            self.obs.dir_txn_end(self.node, msg.block)
+
+    def _act_tardis_grant_write(self, ctx):
+        self._tardis_grant_excl(ctx, upgrade=False)
+
+    def _act_tardis_grant_upgrade(self, ctx):
+        self._tardis_grant_excl(ctx, upgrade=True)
+
+    def _tardis_grant_excl(self, ctx, upgrade):
+        entry, msg = ctx.entry, ctx.msg
+        self.lease_policy.on_write_grant(entry, entry.rts - entry.wts)
+        # The write jumps past every outstanding lease: readers keep their
+        # (logically earlier) copies, no invalidation needed.
+        wts = max(msg.ts or 0, entry.rts + 1)
+        entry.wts = entry.rts = wts
+        entry.state = DIR_EXCLUSIVE
+        entry.owner = msg.src
+        entry.last_writer = msg.src
+        kind = MsgKind.UPGRADE_ACK if upgrade else MsgKind.DATA_EX
+        self.network.send(
+            Message(
+                kind,
+                msg.block,
+                src=self.node,
+                dst=msg.src,
+                data=entry.data,
+                carries_data=kind is MsgKind.DATA_EX,
+                wts=wts,
+                rts=wts,
+            )
+        )
+        if self.obs is not None:
+            self.obs.dir_grant(
+                self.node, msg.block, msg.src,
+                "upgrade" if upgrade else "write", False, False,
+            )
+            self.obs.dir_txn_end(self.node, msg.block)
+
+    def _act_request_wb(self, ctx):
+        self.network.send(
+            Message(
+                MsgKind.WB_REQ, ctx.msg.block, src=self.node, dst=ctx.entry.owner
+            )
+        )
+
+    def _act_accept_owner_ts(self, ctx):
+        entry, msg = ctx.entry, ctx.msg
+        entry.data = msg.data
+        entry.wts = max(entry.wts, msg.wts)
+        entry.rts = max(entry.rts, msg.rts)
+        entry.owner = None
+        entry.state = DIR_IDLE
 
     # ------------------------------------------------------------------
     # Classification (the DSI identification hook)

@@ -53,6 +53,9 @@ class DirEntry:
         "txn",
         "deferred",
         "migratory",
+        "wts",
+        "rts",
+        "lease",
     )
 
     def __init__(self):
@@ -70,6 +73,9 @@ class DirEntry:
         self.txn = None
         self.deferred = deque()  # requests queued behind the transaction
         self.migratory = False  # detected read-then-write migration
+        self.wts = 0  # (Tardis) logical write timestamp of the memory copy
+        self.rts = 0  # (Tardis) latest outstanding read lease
+        self.lease = 0  # (Tardis) per-block adaptive lease (0 = use static)
 
     # ------------------------------------------------------------------
     def sharer_list(self):

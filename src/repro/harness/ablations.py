@@ -10,7 +10,7 @@ sweep as RunSpecs (so the CLI can prefetch several ablations as one
 parallel batch), and the collector reads the records back into a table.
 """
 
-from repro.harness.configs import LARGE_CACHE, paper_config
+from repro.harness.configs import LARGE_CACHE, WORKLOADS, paper_config
 from repro.harness.experiment import ExperimentResult
 
 
@@ -389,6 +389,57 @@ def migratory_combo(runner, workloads=("barnes", "sparse")):
     )
 
 
+# ----------------------------------------------------------------------
+# A11 (extension): Tardis vs DSI vs baseline
+# ----------------------------------------------------------------------
+def _tardis_spec(runner, workload, protocol="TARDIS", **overrides):
+    config = paper_config(protocol, cache=LARGE_CACHE, n_procs=runner.n_procs, **overrides)
+    return runner.spec(workload, config)
+
+
+def tardis_vs_dsi_specs(runner, workloads=WORKLOADS, lease=8):
+    specs = []
+    for workload in workloads:
+        specs.append(_base_spec(runner, workload))
+        specs.append(_v_spec(runner, workload))
+        specs.append(_tardis_spec(runner, workload, lease=lease))
+        specs.append(_tardis_spec(runner, workload, "W+TARDIS", lease=lease))
+    return specs
+
+
+def tardis_vs_dsi(runner, workloads=WORKLOADS, lease=8):
+    """A11 (extension): Tardis leased logical timestamps vs the paper's
+    DSI vs the SC baseline, on all five applications.  Tardis tracks no
+    sharers and so sends zero invalidations by construction (the
+    ``tardis_inv`` column stays 0); its cost shows up as lease-expiry
+    reload misses (``expiries``) instead.  See docs/PROTOCOL.md for the
+    transition tables."""
+    runner.prefetch(tardis_vs_dsi_specs(runner, workloads, lease=lease))
+    headers = ["workload", "dsi_v", "tardis", "w_tardis", "tardis_inv", "expiries"]
+    rows = []
+    for workload in workloads:
+        base = runner.run_spec(_base_spec(runner, workload))
+        version = runner.run_spec(_v_spec(runner, workload))
+        tardis = runner.run_spec(_tardis_spec(runner, workload, lease=lease))
+        w_tardis = runner.run_spec(_tardis_spec(runner, workload, "W+TARDIS", lease=lease))
+        rows.append(
+            [
+                workload,
+                f"{version.normalized_to(base):.3f}",
+                f"{tardis.normalized_to(base):.3f}",
+                f"{w_tardis.normalized_to(base):.3f}",
+                tardis.messages.invalidations(),
+                tardis.misses.self_invalidations,
+            ]
+        )
+    return ExperimentResult(
+        "ablation:tardis_vs_dsi",
+        f"Tardis (lease {lease}) vs DSI-V vs base (normalized to SC)",
+        headers,
+        rows,
+    )
+
+
 def _cache_scheme():
     from repro.config import IdentifyScheme
 
@@ -406,6 +457,7 @@ ALL = {
     "scaling": scaling,
     "migratory": migratory_combo,
     "block_size": block_size,
+    "tardis_vs_dsi": tardis_vs_dsi,
 }
 
 #: Plan-phase counterpart of :data:`ALL` — the CLI unions these spec
@@ -421,4 +473,5 @@ SPECS = {
     "scaling": scaling_specs,
     "migratory": migratory_specs,
     "block_size": block_size_specs,
+    "tardis_vs_dsi": tardis_vs_dsi_specs,
 }

@@ -45,13 +45,14 @@ SUITES = {
     "smoke": (
         ("producer_consumer", "SC"),
         ("producer_consumer", "V"),
+        ("producer_consumer", "TARDIS"),
     ),
     # CI gate: three paper workloads at quick scale across the base
-    # protocol, weak consistency and DSI-with-versions.
+    # protocol, weak consistency, DSI-with-versions and Tardis.
     "quick": tuple(
         (workload, protocol)
         for workload in ("em3d", "sparse", "tomcatv")
-        for protocol in ("SC", "W", "V")
+        for protocol in ("SC", "W", "V", "TARDIS")
     ),
     # The paper grid (Figure 3's bars at quick workload scale).
     "full": tuple(

@@ -150,7 +150,24 @@ def build_parser():
     )
     parser.add_argument("--trace", help="run: simulate a saved .npz trace instead")
     parser.add_argument(
-        "--protocol", default="SC", help="run: protocol label (SC, W, S, V, W+V, V-FIFO)"
+        "--protocol",
+        default="SC",
+        help="run: protocol label (SC, W, S, V, W+V, V-FIFO, TARDIS, "
+        "W+TARDIS; case-insensitive)",
+    )
+    parser.add_argument(
+        "--lease",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run/trace/analyze: Tardis static lease length in logical "
+        "ticks (default 8; only meaningful with --protocol tardis)",
+    )
+    parser.add_argument(
+        "--lease-adaptive",
+        action="store_true",
+        help="run/trace/analyze: per-block adaptive lease predictor "
+        "instead of the static lease",
     )
     parser.add_argument(
         "--cache", type=int, default=SMALL_CACHE, help="run: cache bytes (default 16384)"
@@ -394,11 +411,13 @@ def _check_protocol(args):
     from functools import partial
 
     from repro.coherence.explore import check_variant
-    from repro.coherence.variants import NO_BUGS, enumerate_variants
+    from repro.coherence.variants import NO_BUGS, enumerate_variants, tardis_variants
 
     variants = [v for mig in (False, True) for v in enumerate_variants(mig)]
+    variants += tardis_variants()
     if args.variant:
-        variants = [v for v in variants if args.variant in v.describe()]
+        wanted = args.variant.lower()
+        variants = [v for v in variants if wanted in v.describe().lower()]
         if not variants:
             print(f"no variant label contains {args.variant!r}", file=sys.stderr)
             return 2
@@ -541,6 +560,16 @@ def _tracer_telemetry(tracer):
     }
 
 
+def _protocol_overrides(args):
+    """Config overrides assembled from the protocol-tuning options."""
+    overrides = {}
+    if args.lease is not None:
+        overrides["lease"] = args.lease
+    if args.lease_adaptive:
+        overrides["lease_adaptive"] = True
+    return overrides
+
+
 def _run_one(args):
     """One simulation with the full statistics dump."""
     program = _load_run_program(args)
@@ -551,6 +580,7 @@ def _run_one(args):
         cache=args.cache,
         latency=args.latency,
         n_procs=program.n_procs,
+        **_protocol_overrides(args),
     )
     instrument = _make_instrument(args)
     started = time.time()
@@ -631,6 +661,7 @@ def _trace(args):
         cache=args.cache,
         latency=args.latency,
         n_procs=program.n_procs,
+        **_protocol_overrides(args),
     )
     instrument = Instrument()
     started = time.time()
@@ -706,6 +737,7 @@ def _analyze(args):
         cache=args.cache,
         latency=args.latency,
         n_procs=program.n_procs,
+        **_protocol_overrides(args),
     )
     instrument = AnalyticsInstrument(audit=not args.no_audit)
     started = time.time()
@@ -768,6 +800,20 @@ def _analyze(args):
     else:
         print("DSI speculation: no self-invalidations "
               "(protocol without DSI, or nothing marked)")
+    lease = report["lease"]
+    if lease["grants"] or lease["expiries"]:
+        accuracy = (
+            f"{lease['renewal_accuracy']:.1%}"
+            if lease["renewal_accuracy"] is not None
+            else "n/a"
+        )
+        print(
+            f"Tardis leases: {lease['grants']} grants, "
+            f"{lease['expiries']} expiries ({lease['renew_changed']} stale, "
+            f"{lease['renew_unchanged']} still-good, "
+            f"{lease['never_renewed']} never re-read; "
+            f"renewal accuracy {accuracy})"
+        )
     print()
     block_rows = [
         [

@@ -9,6 +9,11 @@ cache size, which the scaling preserves (see DESIGN.md, substitutions).
 Protocol labels follow Figure 3: SC (base sequential consistency), W
 (weak consistency with a 16-entry coalescing write buffer), S (SC + DSI
 with additional states), V (SC + DSI with 4-bit version numbers).
+
+Beyond the paper's own bars, TARDIS / W+TARDIS select the leased
+logical-timestamp protocol (Yu & Devadas, PACT'15) as a comparison
+point: no sharer tracking, no invalidation traffic — self-invalidation
+falls out of lease expiry (see docs/PROTOCOL.md).
 """
 
 from repro.config import Consistency, IdentifyScheme, KB, SIMechanism, SystemConfig
@@ -43,11 +48,15 @@ _PROTOCOL_FIELDS = {
     },
     # Figure 5's FIFO variant of V.
     "V-FIFO": {"identify": IdentifyScheme.VERSION, "si_mechanism": SIMechanism.FIFO},
+    # Tardis leased logical timestamps (not a paper bar; ablation only).
+    "TARDIS": {"tardis": True},
+    "W+TARDIS": {"consistency": Consistency.WC, "tardis": True},
 }
 
 
 def paper_config(protocol="SC", cache=SMALL_CACHE, latency=FAST_NET, n_procs=32, **overrides):
     """A :class:`~repro.config.SystemConfig` for one paper data point."""
+    protocol = protocol.upper()
     if protocol not in _PROTOCOL_FIELDS:
         raise ConfigError(f"unknown protocol label {protocol!r}; have {sorted(_PROTOCOL_FIELDS)}")
     fields = dict(_PROTOCOL_FIELDS[protocol])

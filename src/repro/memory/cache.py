@@ -43,6 +43,8 @@ class CacheFrame:
         "data",
         "lru",
         "pinned",
+        "wts",
+        "rts",
     )
 
     def __init__(self):
@@ -56,6 +58,8 @@ class CacheFrame:
         self.data = 0
         self.lru = 0
         self.pinned = False  # an upgrade is outstanding; not evictable
+        self.wts = 0  # (Tardis) logical write timestamp of the copy
+        self.rts = 0  # (Tardis) lease: readable while pts <= rts
 
     def state_name(self):
         return _STATE_NAMES[self.state if self.valid else INVALID]
@@ -70,7 +74,7 @@ class CacheFrame:
 class Victim:
     """What got evicted to make room for a fill."""
 
-    __slots__ = ("block", "state", "dirty", "s_bit", "tearoff", "data")
+    __slots__ = ("block", "state", "dirty", "s_bit", "tearoff", "data", "wts", "rts")
 
     def __init__(self, frame):
         self.block = frame.tag
@@ -79,6 +83,8 @@ class Victim:
         self.s_bit = frame.s_bit
         self.tearoff = frame.tearoff
         self.data = frame.data
+        self.wts = frame.wts
+        self.rts = frame.rts
 
 
 class Cache:
@@ -118,6 +124,17 @@ class Cache:
             if frame.tag == block:
                 return frame.version
         return None
+
+    def stored_wts(self, block):
+        """(Tardis) write timestamp retained with a matching tag, else 0.
+
+        Like the version number, ``wts`` survives invalidation: a renewal
+        miss presents the expired copy's ``wts`` so the home can tell a
+        wasted expiry (block unchanged) from a justified one."""
+        for frame in self.sets[block % self.n_sets]:
+            if frame.tag == block:
+                return frame.wts
+        return 0
 
     # ------------------------------------------------------------------
     # Fill / evict

@@ -32,6 +32,9 @@ class MsgKind(enum.IntEnum):
     REPL = 11  # replacement notification for a clean block
     SI_NOTIFY = 12  # self-invalidation notification for a tracked block
 
+    # home directory -> cache (Tardis only)
+    WB_REQ = 13  # ask the exclusive owner for a timestamped writeback
+
 
 # Message kinds whose destination is the home directory (everything else
 # is delivered to a cache controller).
@@ -84,6 +87,13 @@ class Message:
         modified (the message carries the data block).
     carries_data:
         The message carries a full cache block (adds 8 injection cycles).
+    wts, rts:
+        (Tardis) logical write/read timestamps piggybacked on data and
+        upgrade responses and on owner writebacks.
+    ts:
+        (Tardis) requester metadata: the program timestamp on a request,
+        and the requester's cached ``wts`` on an UPGRADE (the home grants
+        exclusivity without data only when it matches the memory copy).
     """
 
     __slots__ = (
@@ -100,6 +110,9 @@ class Message:
         "si_marked",
         "dirty",
         "carries_data",
+        "wts",
+        "rts",
+        "ts",
     )
 
     def __init__(
@@ -117,6 +130,9 @@ class Message:
         si_marked=False,
         dirty=False,
         carries_data=False,
+        wts=0,
+        rts=0,
+        ts=None,
     ):
         self.kind = kind
         self.block = block
@@ -131,6 +147,9 @@ class Message:
         self.si_marked = si_marked
         self.dirty = dirty
         self.carries_data = carries_data
+        self.wts = wts
+        self.rts = rts
+        self.ts = ts
 
     def __repr__(self):
         flags = []

@@ -36,6 +36,17 @@ that was still good (an extra miss the eager protocol would not have
 had).  Re-reads are always visible: the copy is gone, so the next read
 must go through the directory.
 
+**Lease accuracy** (Tardis runs): the DSI re-read judge does not apply —
+Tardis discovers expiry lazily *at* the next read, so every expiry would
+be scored as a premature invalidation.  The right measure is the renewal
+split the directory observes: a renewal whose retained ``wts`` no longer
+matches (``lease_renew_changed``) means the lease expired for a reason —
+the copy had gone stale; an unchanged renewal (``lease_renew_unchanged``)
+paid a directory round trip for a copy that was still valid (the lease
+was too short); an expiry that never produced a renewal cost nothing at
+all.  :func:`lease_report` folds the probe counters into the ``lease``
+section of the report.
+
 :class:`AnalyticsInstrument` packages the classifier with the
 :class:`~repro.obs.audit.MessageLedger` as a drop-in
 :class:`~repro.obs.instrument.Instrument`: every override calls
@@ -62,7 +73,30 @@ PATTERNS = (
 )
 
 #: Version of the dict produced by :meth:`SharingClassifier.report`.
-REPORT_SCHEMA_VERSION = 1
+#: v2 added the ``lease`` section (Tardis lease-prediction accuracy).
+REPORT_SCHEMA_VERSION = 2
+
+
+def lease_report(counts):
+    """Fold the Tardis lease probe counters into the report's ``lease``
+    section (all zeros / ``None`` accuracies outside Tardis runs)."""
+    grants = counts.get("lease_grant", 0)
+    expiries = counts.get("lease_expire", 0)
+    changed = counts.get("lease_renew_changed", 0)
+    unchanged = counts.get("lease_renew_unchanged", 0)
+    renewals = changed + unchanged
+    return {
+        "grants": grants,
+        "expiries": expiries,
+        "renewals": renewals,
+        "renew_changed": changed,
+        "renew_unchanged": unchanged,
+        "never_renewed": max(expiries - renewals, 0),
+        # Of the expiries that came back for a renewal, how many had
+        # actually gone stale?  High = leases expire about when writes
+        # arrive; low = leases are too short (wasted reload misses).
+        "renewal_accuracy": round(changed / renewals, 4) if renewals else None,
+    }
 
 
 class BlockLife:
@@ -408,5 +442,8 @@ class AnalyticsInstrument(Instrument):
         return summary
 
     def report(self, top=12):
-        """The classifier's report (see :meth:`SharingClassifier.report`)."""
-        return self.classifier.report(top=top)
+        """The classifier's report (see :meth:`SharingClassifier.report`),
+        plus the ``lease`` section folded from the probe counters."""
+        report = self.classifier.report(top=top)
+        report["lease"] = lease_report(self.counts)
+        return report

@@ -115,7 +115,15 @@ def audit_coherence(machine):
     Raises :class:`~repro.errors.AuditError` with one diff line per
     divergent block; returns ``{"blocks": ..., "copies": ...}`` counts on
     success.
+
+    Under Tardis the full map tracks only the exclusive owner — leased
+    shared copies are deliberately untracked (that is the protocol's whole
+    point), so the audit compares E copies only: an Exclusive entry's
+    owner must hold the sole E copy, and no E copy may exist anywhere the
+    directory does not record an owner.  Leased S copies are legal
+    everywhere, including for blocks with no directory entry.
     """
+    tardis = machine.config.tardis
     problems = []
     copies_by_block = {}
     for controller in machine.controllers:
@@ -145,7 +153,10 @@ def audit_coherence(machine):
             actual = copies_by_block.get(block, {})
             copies += len(actual)
             tracked = _holders(actual)
-            if entry.state == DIR_EXCLUSIVE:
+            if tardis:
+                tracked = {node: s for node, s in tracked.items() if s == "E"}
+                expected = {entry.owner: "E"} if entry.state == DIR_EXCLUSIVE else {}
+            elif entry.state == DIR_EXCLUSIVE:
                 expected = {entry.owner: "E"}
             elif entry.state == DIR_SHARED:
                 expected = {node: "S" for node in entry.sharer_list()}
@@ -161,6 +172,8 @@ def audit_coherence(machine):
         if block in known:
             continue
         tracked = _holders(actual)
+        if tardis:
+            tracked = {node: s for node, s in tracked.items() if s == "E"}
         if tracked:
             problems.append(
                 f"block {block}: cached ({_fmt(tracked)}) but has no "

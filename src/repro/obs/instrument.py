@@ -66,6 +66,10 @@ PROBE_TYPES = (
     "wb_drain",
     "sync_enter",
     "sync_exit",
+    "lease_grant",
+    "lease_renew_changed",
+    "lease_renew_unchanged",
+    "lease_expire",
 )
 
 
@@ -264,6 +268,30 @@ class Instrument:
         span = self.spans.end(("inv", home, block, target), self.now)
         if span is not None:
             self.latency["inv"].add(span.duration)
+
+    # ------------------------------------------------------------------
+    # Tardis lease probes
+    # ------------------------------------------------------------------
+    def lease_grant(self, home, block, requester, lease, renewed, changed):
+        """A Tardis read grant extended a block's lease.
+
+        ``renewed`` means the requester held an expired copy of this block
+        (its retained ``wts`` rode the GETS); ``changed`` refines a
+        renewal: the block was written since that copy was leased, i.e.
+        the lease expiry was a *justified* self-invalidation rather than a
+        wasted one.  The renewed/changed split is the lease-prediction
+        accuracy measure reported by ``dsi-sim analyze``.
+        """
+        self.counts["lease_grant"] += 1
+        if renewed:
+            if changed:
+                self.counts["lease_renew_changed"] += 1
+            else:
+                self.counts["lease_renew_unchanged"] += 1
+
+    def lease_expire(self, node, block):
+        """A cache dropped a copy because its lease expired (pts > rts)."""
+        self.counts["lease_expire"] += 1
 
     # ------------------------------------------------------------------
     # Self-invalidation FIFO probes

@@ -97,6 +97,13 @@ class BarrierManager:
         self.latency = latency
         self._waiting = []  # (node, barrier_id, callback)
         self.episodes = 0
+        # Hook invoked with the released node list just before the release
+        # callbacks run.  The machine uses it under Tardis to join every
+        # node's program timestamp (a barrier orders *all* nodes, so each
+        # must leave with pts >= every other's — otherwise a node could
+        # keep reading a leased copy a pre-barrier remote write logically
+        # superseded).
+        self.on_release = None
 
     def arrive(self, node, barrier_id, released):
         for waiting_node, _bid, _cb in self._waiting:
@@ -112,6 +119,8 @@ class BarrierManager:
             self.sim.schedule(self.latency, self._release, batch)
 
     def _release(self, batch):
+        if self.on_release is not None:
+            self.on_release([node for node, _bid, _cb in batch])
         for _node, _bid, released in batch:
             released()
 

@@ -146,6 +146,18 @@ class _Ctx:
     def acks_pending_grant(self):
         return self.msg.acks_pending
 
+    @property
+    def lease_expired(self):
+        # (Tardis) the valid leased copy is no longer readable.
+        return self.ctrl.pts > self.frame.rts
+
+    @property
+    def si_notice_dirty(self):
+        # The block self-invalidated, but its dirty notice is still queued
+        # behind the flush cost: a racing INV's ack must carry the data.
+        notice = self.ctrl._pending_notices.get(self.block)
+        return notice is not None and notice.carries_data
+
 
 class CacheController:
     """Cache + controller + write buffer for one node."""
@@ -165,6 +177,10 @@ class CacheController:
         self.cache = Cache(config, node)
         self.resource = Resource(sim, name=f"cc{node}")
         self.mshrs = {}
+        # Self-invalidation notices collected but not yet injected into the
+        # network (the flush cost delays the send).  A racing INV consumes
+        # its block's entry so the dirty data rides the acknowledgment.
+        self._pending_notices = {}
         self.write_buffer = (
             CoalescingWriteBuffer(
                 config.write_buffer_entries, node=node, instrument=instrument
@@ -191,6 +207,11 @@ class CacheController:
         # the next cache miss (Scheurich's condition).
         self._sc_tearoff = config.sc_tearoff
         self._tearoff_frame = None
+        # Tardis: this node's program timestamp.  Reads advance it to the
+        # observed copy's wts; writes advance it to the new wts; barriers
+        # join it across nodes (Machine wires the hook).
+        self._tardis = config.tardis
+        self.pts = 0
 
     # ------------------------------------------------------------------
     # Symbolic state derivation and dispatch
@@ -260,6 +281,10 @@ class CacheController:
         frame = self.cache.lookup(block)
         if frame is None:
             return False
+        if self._tardis:
+            if frame.state != EXCLUSIVE and self.pts > frame.rts:
+                return False  # expired lease: the LOAD path renews it
+            self.pts = max(self.pts, frame.wts)
         if self.monitor:
             self.monitor.on_read(self.node, block, frame.data)
         self.misses.bump("read_hits")
@@ -272,6 +297,8 @@ class CacheController:
         otherwise, issuing nothing."""
         frame = self.cache.lookup(block)
         if frame is not None and frame.state == EXCLUSIVE:
+            if self._tardis:
+                self._tardis_write_bump(frame)
             self._apply_write(frame, stamp)
             self.misses.bump("write_hits")
             return True
@@ -356,6 +383,8 @@ class CacheController:
         for frame, state in ordered:
             ctx = _Ctx(self, frame.tag, frame=frame, notices=notices)
             self._dispatch(E.SI_SYNC, ctx, state=state)
+        for msg in notices:
+            self._pending_notices[msg.block] = msg
         self.resource.submit(cost, self._flush_send, notices, on_done)
 
     def _si_notice(self, frame):
@@ -373,17 +402,30 @@ class CacheController:
         )
 
     def _flush_send(self, notices, on_done):
-        if not notices:
+        # A notice whose registry entry is gone was consumed by a racing
+        # INV: its data already rode the acknowledgment.  A FIFO can list
+        # the same frame twice, so one batch may hold two notices for one
+        # block with only the later one registered — the earlier one must
+        # still be sent (the duplicate replays) without evicting it.
+        live = []
+        for msg in notices:
+            current = self._pending_notices.get(msg.block)
+            if current is msg:
+                del self._pending_notices[msg.block]
+                live.append(msg)
+            elif current is not None:
+                live.append(msg)
+        if not live:
             on_done()
             return
-        remaining = [len(notices)]
+        remaining = [len(live)]
 
         def injected():
             remaining[0] -= 1
             if remaining[0] == 0:
                 on_done()
 
-        for msg in notices:
+        for msg in live:
             self.network.send(msg, on_injected=injected)
 
     def _self_invalidate_now(self, frame):
@@ -409,7 +451,7 @@ class CacheController:
         if self.obs is not None:
             self.obs.mshr_close(self.node, block)
 
-    def _issue(self, kind, block):
+    def _issue(self, kind, block, frame=None):
         version = self.cache.stored_version(block) if self._send_versions else None
         msg = Message(
             kind,
@@ -418,6 +460,13 @@ class CacheController:
             dst=self.home_map.home_of(block),
             version=version,
         )
+        if self._tardis:
+            # Requests carry the program timestamp; the upgrade carries its
+            # copy's wts (dataless grant iff it matches memory), and a
+            # renewal miss the expired copy's retained wts (so the home can
+            # score the expiry).
+            msg.ts = self.pts
+            msg.wts = frame.wts if frame is not None else self.cache.stored_wts(block)
         self.resource.submit(self.config.cache_ctrl_cycles, self.network.send, msg)
 
     # ------------------------------------------------------------------
@@ -439,6 +488,9 @@ class CacheController:
         elif kind is MsgKind.INV:
             frame = self.cache.lookup(msg.block, touch=False)
             self._dispatch(E.INV, _Ctx(self, msg.block, frame=frame, msg=msg))
+        elif kind is MsgKind.WB_REQ:
+            frame = self.cache.lookup(msg.block, touch=False)
+            self._dispatch(E.WB_REQ, _Ctx(self, msg.block, frame=frame, msg=msg))
         else:
             raise ProtocolError(f"cache {self.node} received unexpected {msg!r}")
 
@@ -497,6 +549,12 @@ class CacheController:
         frame.dirty = True
         if self.monitor:
             self.monitor.on_write(self.node, frame.tag, stamp)
+
+    def _tardis_write_bump(self, frame):
+        """Owner write: jump the copy's timestamps past its own lease and
+        this node's program time (wts = rts = max(pts, rts + 1))."""
+        frame.wts = frame.rts = max(self.pts, frame.rts + 1)
+        self.pts = frame.wts
 
     def _fill(self, block, state, data, version=None, si=False, tearoff=False, dirty=False, then=None):
         if not si and self.history is not None and self.history.should_mark(block):
@@ -615,7 +673,7 @@ class CacheController:
         self._issue(MsgKind.GETX, ctx.block)
 
     def _act_send_upgrade(self, ctx):
-        self._issue(MsgKind.UPGRADE, ctx.block)
+        self._issue(MsgKind.UPGRADE, ctx.block, frame=ctx.frame)
 
     def _act_write_hit(self, ctx):
         self._apply_write(ctx.frame, ctx.stamp)
@@ -745,6 +803,15 @@ class CacheController:
     def _act_mark_upgrade_invalidated(self, ctx):
         ctx.mshr.invalidated = True  # the directory will answer with DATA_EX
 
+    def _act_consume_si_notice(self, ctx):
+        # The copy died at a self-invalidation whose notice has not left
+        # the node yet.  The reply below enters the node->home lane first,
+        # so the dirty data must ride it: a dataless ack would complete
+        # the home's racing transaction with a stale memory copy, and the
+        # late notice would then be dropped as stale — losing the write.
+        notice = self._pending_notices.pop(ctx.block)
+        ctx.inv_data = notice.data
+
     def _act_reply_inv_ack(self, ctx):
         self._reply(MsgKind.INV_ACK, ctx.msg)
 
@@ -782,11 +849,17 @@ class CacheController:
         if self.obs is not None:
             self.obs.cache_self_invalidate(self.node, ctx.block, at_sync=False)
         self.cache.invalidate(ctx.frame)
+        self._pending_notices[ctx.block] = notice
         self.resource.submit(
             self.config.si_flush_cycles_per_block,
-            self.network.send,
+            self._send_pending_notice,
             notice,
         )
+
+    def _send_pending_notice(self, notice):
+        if self._pending_notices.get(notice.block) is notice:
+            del self._pending_notices[notice.block]
+            self.network.send(notice)
 
     def _act_sc_drop_tearoff(self, ctx):
         if self.monitor:
@@ -795,6 +868,98 @@ class CacheController:
             self.obs.cache_self_invalidate(self.node, ctx.block, at_sync=False)
         self.misses.bump("self_invalidations")
         self.cache.invalidate(ctx.frame)
+
+    # -- Tardis (leased logical timestamps) ----------------------------
+    def _act_tardis_read_hit(self, ctx):
+        self.pts = max(self.pts, ctx.frame.wts)
+        if self.monitor:
+            self.monitor.on_read(self.node, ctx.block, ctx.frame.data)
+        self.misses.bump("read_hits")
+
+    def _act_tardis_write_hit(self, ctx):
+        self._tardis_write_bump(ctx.frame)
+        self._apply_write(ctx.frame, ctx.stamp)
+        self.misses.bump("write_hits")
+
+    def _act_lease_expire_si(self, ctx):
+        # The free self-invalidation: no message, no ack — the copy just
+        # stops being readable at this node's program time.
+        self.misses.bump("self_invalidations")
+        if self.monitor:
+            self.monitor.on_invalidate(self.node, ctx.block)
+        if self.obs is not None:
+            self.obs.lease_expire(self.node, ctx.block)
+        self.cache.invalidate(ctx.frame)
+
+    def _act_tardis_fill_s(self, ctx):
+        mshr, msg = ctx.mshr, ctx.msg
+
+        def then(frame):
+            frame.wts = msg.wts
+            frame.rts = msg.rts
+            self.pts = max(self.pts, msg.wts)
+            self._read_complete(mshr, msg, frame)
+
+        self._fill(msg.block, SHARED, msg.data, then=then)
+
+    def _act_tardis_fill_e(self, ctx):
+        mshr, msg = ctx.mshr, ctx.msg
+
+        def then(frame):
+            frame.wts = msg.wts
+            frame.rts = msg.rts
+            self.pts = max(self.pts, msg.wts)
+            self._write_granted(mshr, msg, frame)
+
+        self._fill(msg.block, EXCLUSIVE, mshr.stamp, dirty=True, then=then)
+
+    def _act_tardis_apply_upgrade(self, ctx):
+        # Runs after PROMOTE_TO_EXCLUSIVE (which set ctx.frame).
+        frame, msg = ctx.frame, ctx.msg
+        frame.wts = msg.wts
+        frame.rts = msg.rts
+        self.pts = max(self.pts, msg.wts)
+        self._apply_write(frame, ctx.mshr.stamp)
+
+    def _act_tardis_owner_wb(self, ctx):
+        frame = ctx.frame
+        if self.monitor:
+            self.monitor.on_invalidate(self.node, ctx.block)
+        self.network.send(
+            Message(
+                MsgKind.WB,
+                ctx.block,
+                src=self.node,
+                dst=self.home_map.home_of(ctx.block),
+                data=frame.data,
+                dirty=True,
+                carries_data=True,
+                wts=frame.wts,
+                rts=frame.rts,
+            )
+        )
+        self.cache.invalidate(frame)
+
+    def _act_drop_stale_wb_req(self, ctx):
+        pass  # this node's own writeback is already on its way to the home
+
+    def _act_evict_wb_ts(self, ctx):
+        victim = ctx.victim
+        if self.monitor:
+            self.monitor.on_invalidate(self.node, victim.block)
+        self.network.send(
+            Message(
+                MsgKind.WB,
+                victim.block,
+                src=self.node,
+                dst=self.home_map.home_of(victim.block),
+                data=victim.data,
+                dirty=True,
+                carries_data=True,
+                wts=victim.wts,
+                rts=victim.rts,
+            )
+        )
 
     def _act_evict_count(self, ctx):
         self.misses.bump("replacements")

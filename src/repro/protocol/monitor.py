@@ -118,3 +118,20 @@ class CoherenceMonitor:
             set(self.sharers.get(block, set())),
             set(self.tearoffs.get(block, set())),
         )
+
+
+class TardisMonitor(CoherenceMonitor):
+    """Invariant checker relaxed for Tardis (leased timestamps).
+
+    Tardis never invalidates readers: a leased shared copy legally
+    coexists with a remote exclusive owner *even under SC* — the reader is
+    logically in the past (its pts has not crossed the copy's rts), so no
+    physical-time SWMR holds.  Single-writer, write-ownership, data
+    integrity and per-processor coherence order all still apply: leases
+    only let a processor keep reading an *older* position, never observe
+    positions out of order.
+    """
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.strict = False

@@ -20,7 +20,7 @@ from repro.network.network import Network
 from repro.processor.cpu import Processor, StampSource
 from repro.processor.sync import BarrierManager, LockManager
 from repro.protocol.controller import CacheController
-from repro.protocol.monitor import CoherenceMonitor
+from repro.protocol.monitor import CoherenceMonitor, TardisMonitor
 from repro.stats.counters import MessageCounters, MissCounters
 from repro.stats.report import RunResult
 
@@ -51,7 +51,11 @@ class Machine:
             self.home_map = RoundRobinHome(config.n_processors)
         else:
             raise ConfigError(f"unknown home policy {program.home!r}")
-        self.monitor = CoherenceMonitor(config) if config.check_invariants else None
+        if config.check_invariants:
+            monitor_cls = TardisMonitor if config.tardis else CoherenceMonitor
+            self.monitor = monitor_cls(config)
+        else:
+            self.monitor = None
         policy = make_policy(config)
         self.directories = [
             DirectoryController(
@@ -70,6 +74,12 @@ class Machine:
             self.network.attach(node, self.controllers[node], self.directories[node])
         self.locks = LockManager()
         self.barrier = BarrierManager(self.sim, config.n_processors, config.barrier_latency)
+        if config.tardis:
+            # A barrier orders every node's accesses; join pts so no node
+            # leaves still reading leases from before a remote's writes.
+            # (Locks need no hook: the acquirer's sync write to the lock
+            # word jumps its pts past the releaser's.)
+            self.barrier.on_release = self._tardis_pts_join
         self.stamps = StampSource()
         self.processors = [
             Processor(
@@ -87,6 +97,11 @@ class Machine:
         ]
         self._register_deadlock_hooks()
         self._ran = False
+
+    def _tardis_pts_join(self, nodes):
+        peak = max(controller.pts for controller in self.controllers)
+        for controller in self.controllers:
+            controller.pts = peak
 
     def _register_deadlock_hooks(self):
         sim = self.sim

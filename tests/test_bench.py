@@ -30,7 +30,8 @@ class TestSuites:
 
     def test_suite_specs_pin_protocol_and_workload(self):
         triples = bench.suite_specs("quick")
-        assert len(triples) == 9
+        assert len(triples) == 12  # 3 workloads x (SC, W, V, TARDIS)
+        assert [p for _w, p, _s in triples].count("TARDIS") == 3
         for workload, protocol, spec in triples:
             assert spec.workload == workload
             assert spec.config.n_processors == bench.SUITE_PROCS["quick"]

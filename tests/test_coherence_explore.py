@@ -4,9 +4,10 @@ Two kinds of evidence that the checker actually checks something:
 
 * clean variants explore to quiescence with zero violations and full
   coverage of their NORMAL rows (the per-variant CI sweep extends this
-  to all 44 combinations via ``dsi-sim check-protocol``);
-* re-introducing either of the two historical races through the ``Bugs``
-  knobs makes the checker produce a counterexample trace again.
+  to every combination — the DSI knob grid plus the Tardis family —
+  via ``dsi-sim check-protocol``);
+* re-introducing any of the historical races through the ``Bugs`` knobs
+  makes the checker produce a counterexample trace again.
 """
 
 from repro.coherence.explore import Checker, check_variant, default_configs
@@ -102,6 +103,55 @@ class TestHistoricalRaceNotificationAsAck:
             require_coverage=False,
         )
         assert report.violation is None, (report.violation, report.trace)
+
+
+class TestHistoricalRaceSiNoticeBehindInvAck:
+    """Race 3 (the pinned WC + STATES + tear-off coherence-order
+    violation): a sync-point flush invalidates frames immediately but
+    delays the SI_NOTIFY sends behind the flush cost, so a racing INV was
+    acknowledged *without data* ahead of the dirty notice — the home
+    completed the racing transaction with its stale memory copy and
+    dropped the late notice as stale, losing the final write.  The
+    explorer only sees the race because the model holds flushed notices
+    at the node until an explicit notice-send move."""
+
+    VARIANT = "WC+DSI(S)+TO"
+    CONFIGS = ((2, 3),)
+
+    def test_checker_rediscovers_the_race(self):
+        report = check_variant(
+            by_label(self.VARIANT),
+            bugs=Bugs(si_notice_behind_inv_ack=True),
+            configs=self.CONFIGS,
+            require_coverage=False,
+        )
+        assert report.violation is not None
+        assert "data-value" in report.violation
+        assert report.trace
+        assert any("sync-flush" in step for step in report.trace)
+        assert any("INV_ACK" in step for step in report.trace)
+        # The write is only lost once the stale notice is finally applied.
+        assert "SI_NOTIFY" in report.trace[-1]
+
+    def test_fixed_protocol_has_no_race(self):
+        report = check_variant(
+            by_label(self.VARIANT),
+            configs=self.CONFIGS,
+            require_coverage=False,
+        )
+        assert report.violation is None, (report.violation, report.trace)
+
+    def test_race_not_specific_to_tearoff(self):
+        """The underlying data loss needs only DSI + a dirty s-marked
+        copy: plain SC + STATES reproduces it too."""
+        report = check_variant(
+            by_label("SC+DSI(S)"),
+            bugs=Bugs(si_notice_behind_inv_ack=True),
+            configs=((2, 3),),
+            require_coverage=False,
+        )
+        assert report.violation is not None
+        assert "data-value" in report.violation
 
 
 class TestCheckerMechanics:

@@ -18,7 +18,6 @@ from hypothesis import given, settings, strategies as st
 
 from conftest import seg_addr, tiny_config
 from repro.config import Consistency, IdentifyScheme, SIMechanism
-from repro.errors import ProtocolError
 from repro.system import Machine
 from repro.trace.builder import TraceBuilder
 from repro.trace.ops import Program
@@ -179,23 +178,23 @@ def test_latency_scaling_preserves_correctness(program, latency):
     )
 
 
-@pytest.mark.xfail(
-    raises=ProtocolError,
-    strict=True,
-    reason="known open bug: WC + STATES + tearoff loses coherence order on a "
-    "write-write race followed by a post-barrier re-read (see ROADMAP.md)",
-)
 def test_wc_states_tearoff_coherence_order_pinned():
     """Falsifying example found by hypothesis, pinned deterministically.
 
     Under WC + additional-directory-states identification + tear-off,
     three nodes race on one block: node 0 writes it, node 1 reads it
     under a lock (taking a tear-off copy), node 2 writes it, everyone
-    barriers, then node 2 re-reads — and observes node 0's write despite
-    having already performed the later one.  The coherence monitor
-    raises ``ProtocolError`` ("observed write #1 after already seeing
-    write #2").  Strict xfail: when the protocol bug is fixed, this
-    starts passing and the marker must be removed.
+    barriers, then node 2 re-reads.  Historically node 2 observed node
+    0's write despite having already performed the later one: node 2's
+    dirty copy (its write grant was s-marked) self-invalidated at the
+    barrier, but the flush cost delayed its SI_NOTIFY send, so a racing
+    INV was acknowledged *without data* ahead of the notice — the home
+    completed node 1's read transaction with the stale memory copy and
+    dropped the late notice as stale.  Fixed by consuming the queued
+    notice so the dirty data rides the acknowledgment (the
+    ``si_notice_behind_inv_ack`` regression knob reverts the fix for
+    the state-space checker).  This run must complete cleanly under the
+    coherence monitor.
     """
     block = seg_addr(0, 0)
     lock = LOCKS[1]

@@ -25,3 +25,26 @@ def test_inject_replaces_only_the_generated_block():
 
 def test_render_is_deterministic():
     assert docgen.render() == docgen.render()
+
+
+def test_render_covers_tardis_tables():
+    """The Tardis family renders alongside the DSI reference variants,
+    and its tables are invalidation-free: every INV/INV_ACK row is an
+    **error** assertion (the home never invalidates) — WB_REQ is the
+    only reclaim traffic."""
+    text = docgen.render()
+    for label in ("SC+TARDIS", "WC+TARDIS"):
+        assert f"Cache controller — {label}" in text
+        assert f"Directory controller — {label}" in text
+        assert f"| {label} |" in text  # variant summary row
+    start = text.index("Cache controller — SC+TARDIS")
+    end = text.index("#### Variant summary")
+    tardis_block = text[start:end]
+    assert "WB_REQ" in tardis_block
+    inv_rows = [
+        line
+        for line in tardis_block.splitlines()
+        if "| INV |" in line or "| INV_ACK" in line
+    ]
+    assert inv_rows, "INV inputs must be asserted impossible, not absent"
+    assert all("**error**" in line for line in inv_rows)

@@ -1,0 +1,360 @@
+"""Tardis leased-timestamp coherence (docs/PROTOCOL.md §8).
+
+End-to-end zero-invalidation runs on a paper workload, deterministic
+lease-expiry edge cases (expiry exactly at the read timestamp, renewal
+racing a remote write), timestamp-growth bounds, the lease policies, the
+analytics lease section, and the model checker's timestamp-aware
+data-value invariant.
+"""
+
+import numpy as np
+import pytest
+from conftest import seg_addr, tiny_config, two_proc_program
+
+from repro.coherence.explore import check_variant
+from repro.coherence.variants import Bugs, tardis_variants
+from repro.config import Consistency, SystemConfig
+from repro.core.mechanisms import (
+    AdaptiveLeasePolicy,
+    StaticLeasePolicy,
+    make_lease_policy,
+)
+from repro.errors import ConfigError
+from repro.harness.configs import LARGE_CACHE, paper_config, workload_args
+from repro.obs import Instrument
+from repro.obs.analytics import AnalyticsInstrument, lease_report
+from repro.system import Machine
+from repro.trace.ops import OP_LOCK, OP_UNLOCK, OP_WRITE
+from repro.workloads import by_name
+
+LEASE = 4
+A = seg_addr(0)  # home node 0
+B = seg_addr(1)  # home node 1
+
+#: The checker configuration used by the unit tests here (2 nodes, 2
+#: values).  CI's ``check-protocol --variant tardis`` runs the full
+#: default grid; these tests only need the invariants armed.
+CHECK_CONFIGS = ((2, 2),)
+
+
+def tardis_config(**overrides):
+    overrides.setdefault("tardis", True)
+    overrides.setdefault("lease", LEASE)
+    return tiny_config(**overrides)
+
+
+def run_counted(config, build):
+    """Run a two-processor program and return (machine, result, counts)."""
+    program = two_proc_program(build)
+    instrument = Instrument()
+    machine = Machine(config, program, instrument=instrument)
+    result = machine.run()
+    return machine, result, instrument.counts
+
+
+def paper_run(protocol, workload="em3d", n_procs=4):
+    program = by_name(workload, **workload_args(workload, quick=True, n_procs=n_procs))
+    config = paper_config(protocol, cache=LARGE_CACHE, n_procs=n_procs)
+    return program, Machine(config, program).run()
+
+
+class TestZeroInvalidations:
+    """The acceptance criterion: a paper workload under SC- and WC-Tardis
+    completes with *zero* invalidation traffic on the message ledger —
+    every coherence hand-off rides lease expiry and writebacks."""
+
+    @pytest.mark.parametrize("protocol", ["TARDIS", "W+TARDIS"])
+    def test_paper_workload_sends_no_invalidations(self, protocol):
+        _program, result = paper_run(protocol)
+        network = result.messages.network
+        assert network.get("INV", 0) == 0
+        assert network.get("INV_ACK", 0) == 0
+        assert network.get("INV_ACK_DATA", 0) == 0
+        # ...and it actually exercised the protocol, with leases expiring.
+        assert network.get("GETS", 0) > 0
+        assert result.misses.self_invalidations > 0
+        assert result.exec_time > 0
+
+
+class TestLeaseExpiryEdge:
+    """Lease expiry exactly at the read timestamp: a copy leased to
+    ``rts`` is still readable at ``pts == rts`` and expires only at
+    ``pts == rts + 1``."""
+
+    def expiry_run(self, writes):
+        def build(b0, b1, ctx):
+            b0.read(A)  # lease grant: rts(A) = LEASE (wts 0, pts 0)
+            for _ in range(writes):
+                b1.write(B)  # each write bumps the writer's pts by one
+            ctx.barrier_all()  # barrier joins every pts to the peak
+            b0.read(A)  # readable iff pts <= rts
+
+        return run_counted(tardis_config(), build)
+
+    def test_read_exactly_at_lease_end_is_a_hit(self):
+        machine, result, counts = self.expiry_run(LEASE)
+        assert counts.get("lease_expire", 0) == 0
+        assert result.misses.self_invalidations == 0
+        assert counts.get("lease_grant", 0) == 1  # the original grant only
+        assert [c.pts for c in machine.controllers] == [LEASE, LEASE]
+
+    def test_read_one_past_lease_end_expires(self):
+        machine, result, counts = self.expiry_run(LEASE + 1)
+        assert counts.get("lease_expire", 0) == 1
+        assert result.misses.self_invalidations == 1
+        assert counts.get("lease_grant", 0) == 2  # original grant + renewal
+        assert [c.pts for c in machine.controllers] == [LEASE + 1, LEASE + 1]
+
+    def test_expiry_is_free_of_coherence_traffic(self):
+        _machine, result, _counts = self.expiry_run(LEASE + 1)
+        network = result.messages.network
+        assert network.get("INV", 0) == 0
+        assert network.get("INV_ACK", 0) == 0
+
+
+class TestLeaseRenewal:
+    """Renewals carry the expired copy's retained ``wts`` so the home can
+    judge whether the expiry was justified."""
+
+    def test_renewal_racing_remote_write(self):
+        """A renewal GETS and a remote GETX hit the same block back to
+        back after the lease expires; whichever order the home services
+        them, the run stays coherent, invalidation-free, and counts
+        exactly one renewal."""
+
+        def build(b0, b1, ctx):
+            b1.write(A)  # prime: wts(A) = 1, so renewals are detectable
+            ctx.barrier_all()
+            b0.read(A)  # lease grant on the written block
+            for _ in range(LEASE + 2):
+                b1.write(B)  # push the writer's pts past the lease
+            ctx.barrier_all()  # join -> the reader's copy of A is expired
+            b0.read(A)  # renewal (stale wts rides the GETS)...
+            b1.write(A)  # ...racing a remote write to the same block
+
+        machine, result, counts = run_counted(tardis_config(), build)
+        renewals = counts.get("lease_renew_changed", 0) + counts.get(
+            "lease_renew_unchanged", 0
+        )
+        assert renewals == 1
+        assert counts.get("lease_expire", 0) >= 1
+        assert result.messages.network.get("INV", 0) == 0
+        # The home's lease policy saw the same renewal the probes did.
+        policy = machine.directories[0].lease_policy
+        assert policy.renewals_changed + policy.renewals_unchanged == 1
+
+    def test_renewal_after_remote_write_counts_changed(self):
+        """When the block moved between lease and renewal, the retained
+        ``wts`` mismatches and the expiry scores as justified."""
+
+        def build(b0, b1, ctx):
+            b1.write(A)
+            ctx.barrier_all()
+            b0.read(A)
+            for _ in range(LEASE + 2):
+                b1.write(B)
+            ctx.barrier_all()
+            b1.write(A)  # the block moves while the lease is expired
+            ctx.barrier_all()
+            b0.read(A)  # renewal finds a different wts
+
+        machine, _result, counts = run_counted(tardis_config(), build)
+        assert counts.get("lease_renew_changed", 0) == 1
+        assert counts.get("lease_renew_unchanged", 0) == 0
+        assert machine.directories[0].lease_policy.renewals_changed == 1
+
+
+class TestTimestampGrowth:
+    """Timestamps are unbounded Python integers — there is no wraparound
+    to get wrong — but logical time must grow with *conflicts*, not with
+    cycles: one write advances a block's ``wts`` by at most ``lease + 1``
+    (the jump past an outstanding lease), so the program timestamp is
+    bounded by the write count, however long the run takes."""
+
+    def test_pts_bounded_by_writes_times_lease(self):
+        program, result = paper_run("TARDIS")
+        writing = np.isin(
+            np.concatenate([t.kinds for t in program.traces]),
+            (OP_WRITE, OP_LOCK, OP_UNLOCK),
+        )
+        writes = int(np.count_nonzero(writing))
+        config = paper_config("TARDIS", cache=LARGE_CACHE, n_procs=4)
+        machine = Machine(config, program)
+        machine.run()
+        peak = max(c.pts for c in machine.controllers)
+        assert 0 < peak <= writes * (config.lease + 1)
+        # Logical time is decoupled from physical time: far fewer ticks
+        # than cycles even on a tiny run.
+        assert peak < result.exec_time
+
+
+class TestLeasePolicies:
+    class Entry:
+        """The slice of DirEntry the policies touch."""
+
+        def __init__(self, lease=0):
+            self.lease = lease
+
+    def test_static_lease_is_constant(self):
+        policy = StaticLeasePolicy(8)
+        assert policy.lease_for(self.Entry()) == 8
+        policy.on_read_grant(self.Entry(), renewed=True, changed=True)
+        policy.on_read_grant(self.Entry(), renewed=True, changed=False)
+        policy.on_read_grant(self.Entry(), renewed=False, changed=False)
+        assert (policy.renewals_changed, policy.renewals_unchanged) == (1, 1)
+        policy.on_write_grant(self.Entry(), slack=100)  # no-op, no error
+
+    def test_static_lease_rejects_nonpositive(self):
+        with pytest.raises(ConfigError, match="lease"):
+            StaticLeasePolicy(0)
+
+    def test_adaptive_grows_on_unchanged_renewal(self):
+        policy = AdaptiveLeasePolicy(8, lease_min=2, lease_max=64)
+        entry = self.Entry()
+        assert policy.lease_for(entry) == 8  # unprimed -> default
+        policy.on_read_grant(entry, renewed=True, changed=False)
+        assert entry.lease == 16
+        policy.on_read_grant(entry, renewed=True, changed=False)
+        policy.on_read_grant(entry, renewed=True, changed=False)
+        assert entry.lease == 64  # capped at lease_max
+        policy.on_read_grant(entry, renewed=True, changed=False)
+        assert entry.lease == 64
+        assert policy.grows == 3  # the capped repeat does not count
+        assert policy.renewals_unchanged == 4
+
+    def test_adaptive_shrinks_on_idle_lease_window(self):
+        policy = AdaptiveLeasePolicy(8, lease_min=2, lease_max=64)
+        entry = self.Entry(lease=16)
+        policy.on_write_grant(entry, slack=16)  # slack > lease//2: keep
+        assert entry.lease == 16
+        policy.on_write_grant(entry, slack=8)  # slack <= lease//2: halve
+        assert entry.lease == 8
+        policy.on_write_grant(entry, slack=0)
+        policy.on_write_grant(entry, slack=0)
+        assert entry.lease == 2  # floored at lease_min
+        policy.on_write_grant(entry, slack=0)
+        assert entry.lease == 2
+        assert policy.shrinks == 3
+
+    def test_adaptive_changed_renewal_does_not_grow(self):
+        policy = AdaptiveLeasePolicy(8, lease_min=2, lease_max=64)
+        entry = self.Entry(lease=8)
+        policy.on_read_grant(entry, renewed=True, changed=True)
+        assert entry.lease == 8
+        assert policy.grows == 0
+        assert policy.renewals_changed == 1
+
+    def test_adaptive_rejects_bad_bounds(self):
+        with pytest.raises(ConfigError, match="lease_min"):
+            AdaptiveLeasePolicy(8, lease_min=16, lease_max=4)
+        with pytest.raises(ConfigError, match="lease_min"):
+            AdaptiveLeasePolicy(8, lease_min=0, lease_max=4)
+
+    def test_factory_dispatch(self):
+        static = make_lease_policy(SystemConfig(tardis=True, lease=12))
+        assert isinstance(static, StaticLeasePolicy)
+        assert static.lease == 12
+        adaptive = make_lease_policy(
+            SystemConfig(tardis=True, lease=12, lease_adaptive=True)
+        )
+        assert isinstance(adaptive, AdaptiveLeasePolicy)
+
+
+class TestLeaseAnalytics:
+    def test_lease_report_outside_tardis_is_inert(self):
+        report = lease_report({})
+        assert report["grants"] == report["expiries"] == report["renewals"] == 0
+        assert report["renewal_accuracy"] is None
+
+    def test_lease_report_folds_counters(self):
+        report = lease_report(
+            {
+                "lease_grant": 10,
+                "lease_expire": 6,
+                "lease_renew_changed": 3,
+                "lease_renew_unchanged": 1,
+            }
+        )
+        assert report["renewals"] == 4
+        assert report["never_renewed"] == 2
+        assert report["renewal_accuracy"] == 0.75
+
+    def test_analytics_report_carries_lease_section(self):
+        def build(b0, b1, ctx):
+            b0.read(A)
+            for _ in range(LEASE + 1):
+                b1.write(B)
+            ctx.barrier_all()
+            b0.read(A)
+
+        program = two_proc_program(build)
+        instrument = AnalyticsInstrument()
+        Machine(tardis_config(), program, instrument=instrument).run()
+        report = instrument.report()
+        assert report["schema_version"] == 2
+        lease = report["lease"]
+        assert lease["grants"] == 2
+        assert lease["expiries"] == 1
+
+
+class TestChecker:
+    """The bounded model checker's timestamp-aware data-value invariant:
+    every read must observe the latest write whose ``wts`` precedes the
+    read's logical time."""
+
+    def test_tardis_variants_verify_clean(self):
+        variants = tardis_variants()
+        assert [v.describe() for v in variants] == ["SC+TARDIS", "WC+TARDIS"]
+        for variant in variants:
+            report = check_variant(
+                variant, configs=CHECK_CONFIGS, require_coverage=False
+            )
+            assert report.violation is None, report.violation
+            assert report.states > 1000
+
+    def test_write_ignoring_leases_is_caught(self):
+        report = check_variant(
+            tardis_variants()[0],
+            bugs=Bugs(tardis_write_ignores_lease=True),
+            configs=CHECK_CONFIGS,
+            require_coverage=False,
+        )
+        assert report.violation is not None
+        assert "timestamp data-value violated" in report.violation
+        assert "lease [" in report.violation
+
+    def test_counterexample_trace_is_replayable_prose(self):
+        """The counterexample names each move: processor ops as
+        ``n<i>: LOAD/STORE``, message deliveries with kind and route."""
+        report = check_variant(
+            tardis_variants()[0],
+            bugs=Bugs(tardis_write_ignores_lease=True),
+            configs=CHECK_CONFIGS,
+            require_coverage=False,
+        )
+        assert report.trace, "a violation must come with its trace"
+        assert all(isinstance(move, str) for move in report.trace)
+        ops = [m for m in report.trace if m.startswith("n")]
+        deliveries = [m for m in report.trace if m.startswith("deliver ")]
+        assert len(ops) + len(deliveries) == len(report.trace)
+        assert any("STORE" in m for m in ops)
+        assert any("->" in m for m in deliveries)
+
+
+class TestConfigWiring:
+    def test_protocol_labels_are_case_insensitive(self):
+        config = paper_config("tardis", n_procs=4)
+        assert config.tardis
+        assert config.consistency is Consistency.SC
+        wc = paper_config("w+tardis", n_procs=4)
+        assert wc.tardis
+        assert wc.consistency is Consistency.WC
+
+    def test_lease_overrides_flow_through(self):
+        config = paper_config("TARDIS", n_procs=4, lease=16, lease_adaptive=True)
+        assert config.lease == 16
+        assert config.lease_adaptive
+
+    def test_unknown_label_still_rejected(self):
+        with pytest.raises(ConfigError, match="unknown protocol label"):
+            paper_config("tardis++")
