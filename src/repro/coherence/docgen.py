@@ -112,6 +112,14 @@ def render():
         "against orderings the FIFO network and in-order processor",
         "cannot produce; **error** rows assert impossible inputs.",
         "",
+        "These generated tables are the *single source* of the protocol:",
+        "the interpreted controllers walk them row by row, and the",
+        "compiled dispatch layer (`repro/coherence/compile.py`) lowers",
+        "exactly the same rows into integer-indexed decision trees — a",
+        "table edit changes both execution paths at once, and",
+        "`python -m repro.harness.equivalence` proves they stay",
+        "bit-identical (see docs/PERFORMANCE.md).",
+        "",
     ]
     for label in REFERENCE_LABELS:
         variant = _by_label(label)

@@ -10,6 +10,7 @@ constant 100-cycle network).
 """
 
 import enum
+import os
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
@@ -112,8 +113,18 @@ class SystemConfig:
     quantum: int = 100  # max cycles of hit-processing per processor event
     check_invariants: bool = False  # enable the SWMR/value protocol monitor
     max_events: int = 0  # 0 = unlimited; else abort after this many events
+    # Execution engine (repro.coherence.compile / repro.processor.fastpath).
+    # Both default on; the interpreted paths stay bit-identical and remain
+    # as the reference side of the equivalence harness.  The DSI_NO_FASTPATH
+    # environment variable (any non-empty value) forces both off — the
+    # runtime escape hatch behind ``dsi-sim run --no-fastpath``.
+    compiled_dispatch: bool = True  # table lowered to integer-indexed dispatch
+    direct_execution: bool = True  # batch private/valid hits outside the engine
 
     def __post_init__(self):
+        if os.environ.get("DSI_NO_FASTPATH"):
+            object.__setattr__(self, "compiled_dispatch", False)
+            object.__setattr__(self, "direct_execution", False)
         if self.n_processors < 1:
             raise ConfigError("n_processors must be >= 1")
         if self.block_size & (self.block_size - 1):

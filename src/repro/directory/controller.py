@@ -51,6 +51,13 @@ mode is on (WC), marked *shared* responses become tear-off blocks: the
 requester is not recorded in the full map.
 """
 
+from repro.coherence.compile import (
+    DIR_EVENT_INDEX,
+    DIR_EVENTS,
+    DIR_STATE_INDEX,
+    DIR_STATES,
+    compile_table,
+)
 from repro.coherence.diagnostics import directory_diagnostic
 from repro.coherence.dir_table import dir_table
 from repro.coherence.events import DirAction as A, DirEvent as E, DirState as S
@@ -71,22 +78,41 @@ from repro.engine.resource import Resource
 from repro.errors import ProtocolError
 from repro.network.message import Message, MsgKind
 
-#: message kind -> table event
-_EVENTS = {
-    MsgKind.GETS: E.GETS,
-    MsgKind.GETX: E.GETX,
-    MsgKind.UPGRADE: E.UPGRADE,
-    MsgKind.INV_ACK: E.INV_ACK,
-    MsgKind.INV_ACK_DATA: E.INV_ACK_DATA,
-    MsgKind.WB: E.WB,
-    MsgKind.REPL: E.REPL,
-    MsgKind.SI_NOTIFY: E.SI_NOTIFY,
-}
 _REQUESTS = (E.GETS, E.GETX, E.UPGRADE)
 #: span label for the dir_txn_begin probe
 _REQ_KIND = {E.GETS: "read", E.GETX: "write", E.UPGRADE: "upgrade"}
 #: entry.state -> symbolic stable state
 _STATES = {DIR_IDLE: S.IDLE, DIR_SHARED: S.SHARED, DIR_EXCLUSIVE: S.EXCL}
+
+# Integer codes for the compiled dispatch path (repro.coherence.compile).
+_ST_B_READ = DIR_STATE_INDEX[S.B_READ]
+_ST_B_WRITE = DIR_STATE_INDEX[S.B_WRITE]
+_ST_B_WB = DIR_STATE_INDEX[S.B_WB]
+_ST_B_WCP = DIR_STATE_INDEX[S.B_WCP]
+
+_EV_LAST_ACK = DIR_EVENT_INDEX[E.LAST_ACK]
+
+#: entry.state (DIR_IDLE/DIR_SHARED/DIR_EXCLUSIVE are 0/1/2) -> state index
+_STABLE_IDX = [
+    DIR_STATE_INDEX[S.IDLE],
+    DIR_STATE_INDEX[S.SHARED],
+    DIR_STATE_INDEX[S.EXCL],
+]
+
+#: MsgKind (IntEnum) -> table event index; list-indexed, None = not for us.
+_MSG_EVENTS = [None] * (max(int(kind) for kind in MsgKind) + 1)
+for _kind, _event in (
+    (MsgKind.GETS, E.GETS),
+    (MsgKind.GETX, E.GETX),
+    (MsgKind.UPGRADE, E.UPGRADE),
+    (MsgKind.INV_ACK, E.INV_ACK),
+    (MsgKind.INV_ACK_DATA, E.INV_ACK_DATA),
+    (MsgKind.WB, E.WB),
+    (MsgKind.REPL, E.REPL),
+    (MsgKind.SI_NOTIFY, E.SI_NOTIFY),
+):
+    _MSG_EVENTS[_kind] = DIR_EVENT_INDEX[_event]
+del _kind, _event
 
 _UNSET = object()
 
@@ -231,6 +257,11 @@ class DirectoryController:
         self._states_scheme = config.identify is IdentifyScheme.STATES
         self.variant = ProtocolVariant.from_config(config)
         self.table = dir_table(self.variant)
+        self.ctable = compiled_dir_table(self.variant)
+        self._decide = (
+            self.ctable.decide if config.compiled_dispatch
+            else self.ctable.decide_interpreted
+        )
         self.lease_policy = make_lease_policy(config) if config.tardis else None
 
     # ------------------------------------------------------------------
@@ -263,6 +294,20 @@ class DirectoryController:
             return S.B_WRITE
         return _STATES[entry.state]
 
+    @staticmethod
+    def _derive_state_idx(entry):
+        """Integer form of :meth:`_derive_state` for the hot path."""
+        if entry.busy:
+            txn = entry.txn
+            if txn.waiting_wb:
+                return _ST_B_WB
+            if txn.wc_parallel:
+                return _ST_B_WCP
+            if txn.kind == "read":
+                return _ST_B_READ
+            return _ST_B_WRITE
+        return _STABLE_IDX[entry.state]
+
     # ------------------------------------------------------------------
     # Message intake and table dispatch
     # ------------------------------------------------------------------
@@ -271,34 +316,34 @@ class DirectoryController:
         self.resource.submit(self.config.dir_ctrl_cycles, self._process, msg)
 
     def _process(self, msg):
-        event = _EVENTS.get(msg.kind)
+        event = _MSG_EVENTS[msg.kind]
         if event is None:
             raise ProtocolError(
                 f"directory {self.node} received unexpected {msg!r}"
             )
         self._dispatch(event, _Ctx(self, self.entry_for(msg.block), msg))
 
-    def _dispatch(self, event, ctx, state=None):
-        """Derive the symbolic state, pick the row, run its actions."""
-        if state is None:
-            state = self._derive_state(ctx.entry)
-        row = self.table.decide(state, event, ctx)
+    def _dispatch(self, event, ctx, state=-1):
+        """Derive the state index, pick the compiled row, run its actions."""
+        if state < 0:
+            state = self._derive_state_idx(ctx.entry)
+        row = self._decide(state, event, ctx)
         if self.obs is not None:
-            if event in _REQUESTS and row.actions[0] is not A.DEFER:
+            if row.txn_kind is not None:
                 self.obs.dir_txn_begin(
-                    self.node, ctx.msg.block, _REQ_KIND[event], ctx.msg.src
+                    self.node, ctx.msg.block, row.txn_kind, ctx.msg.src
                 )
             self.obs.protocol_transition(
                 "dir", self.node, ctx.msg.block,
-                state.value, event.value, (row.next_state or state).value,
+                row.state_name, row.event_name, row.next_name,
             )
         if row.error is not None:
             raise ProtocolError(
                 f"dir {self.node}: {row.error} (block {ctx.msg.block}, "
-                f"from node {ctx.msg.src}, state {state.value})"
+                f"from node {ctx.msg.src}, state {row.state_name})"
             )
-        for action in row.actions:
-            _ACTIONS[action](self, ctx)
+        for fn in row.fns:
+            fn(self, ctx)
 
     # ------------------------------------------------------------------
     # Request actions
@@ -402,7 +447,7 @@ class DirectoryController:
             entry.owner = None
         entry.remove_sharer(src)
         if not txn.pending_inv:
-            self._dispatch(E.LAST_ACK, _Ctx(self, entry, txn.msg, txn=txn))
+            self._dispatch(_EV_LAST_ACK, _Ctx(self, entry, txn.msg, txn=txn))
 
     def _act_notification_as_ack(self, ctx):
         # Bug-injection row (checker models only): never built into the
@@ -437,9 +482,9 @@ class DirectoryController:
         # per-kind row (accept data / drop owner / remove sharer / stale).
         entry = ctx.entry
         self._dispatch(
-            _EVENTS[ctx.msg.kind],
+            _MSG_EVENTS[ctx.msg.kind],
             _Ctx(self, entry, ctx.msg),
-            state=_STATES[entry.state],
+            state=_STABLE_IDX[entry.state],
         )
 
     def _act_restart_waiting_request(self, ctx):
@@ -449,7 +494,7 @@ class DirectoryController:
         request = entry.txn.msg
         entry.busy = False
         entry.txn = None
-        self._dispatch(_EVENTS[request.kind], _Ctx(self, entry, request))
+        self._dispatch(_MSG_EVENTS[request.kind], _Ctx(self, entry, request))
         self._drain_deferred(entry)
 
     def _act_accept_owner_data(self, ctx):
@@ -674,7 +719,7 @@ class DirectoryController:
     def _drain_deferred(self, entry):
         while entry.deferred and not entry.busy:
             msg = entry.deferred.popleft()
-            self._dispatch(_EVENTS[msg.kind], _Ctx(self, entry, msg))
+            self._dispatch(_MSG_EVENTS[msg.kind], _Ctx(self, entry, msg))
 
     # ------------------------------------------------------------------
     def deadlock_diagnostic(self):
@@ -683,3 +728,29 @@ class DirectoryController:
 
 #: DirAction -> unbound action method, resolved once at import time.
 _ACTIONS = {action: getattr(DirectoryController, f"_act_{action.value}") for action in A}
+
+
+def _annotate_row(transition, row):
+    """Precompute the dir_txn_begin probe label (None = no span starts)."""
+    if (
+        transition.event in _REQUESTS
+        and transition.actions
+        and transition.actions[0] is not A.DEFER
+    ):
+        row.txn_kind = _REQ_KIND[transition.event]
+
+
+#: one compiled table per variant, shared by every home node
+_COMPILED = {}
+
+
+def compiled_dir_table(variant):
+    """The compiled (integer-indexed) form of ``dir_table(variant)``."""
+    compiled = _COMPILED.get(variant)
+    if compiled is None:
+        compiled = compile_table(
+            dir_table(variant), DIR_STATES, DIR_EVENTS, _Ctx, _ACTIONS,
+            annotate=_annotate_row,
+        )
+        _COMPILED[variant] = compiled
+    return compiled

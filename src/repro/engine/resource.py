@@ -43,12 +43,18 @@ class Resource:
 
     def submit(self, duration, callback, *args):
         """Run a job of ``duration`` cycles; fire ``callback(*args)`` on completion."""
+        sim = self.sim
         if self.busy:
-            self._queue.append((self.sim.now, duration, callback, args))
+            self._queue.append((sim.now, duration, callback, args))
             if self.depth_probe is not None:
                 self.depth_probe(len(self._queue))
         else:
-            self._start(self.sim.now, duration, callback, args)
+            # Inlined _start for the uncontended case (wait time is zero).
+            self.busy = True
+            self.jobs += 1
+            self.busy_cycles += duration
+            self._free_at = sim.now + duration
+            sim.schedule(duration, self._finish, callback, args)
 
     def _start(self, submitted_at, duration, callback, args):
         self.busy = True

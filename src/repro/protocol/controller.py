@@ -40,6 +40,13 @@ injected).
 """
 
 from repro.coherence.cache_table import cache_table
+from repro.coherence.compile import (
+    CACHE_EVENT_INDEX,
+    CACHE_EVENTS,
+    CACHE_STATE_INDEX,
+    CACHE_STATES,
+    compile_table,
+)
 from repro.coherence.diagnostics import cache_diagnostic
 from repro.coherence.events import CacheAction as A
 from repro.coherence.events import CacheEvent as E
@@ -59,6 +66,41 @@ MSHR_WRITE = 1
 MSHR_UPGRADE = 2
 
 _MSHR_NAMES = {MSHR_READ: "read miss", MSHR_WRITE: "write miss", MSHR_UPGRADE: "upgrade"}
+
+# Integer codes for the compiled dispatch path (repro.coherence.compile):
+# states and events are passed as small ints so the hot path indexes dense
+# arrays instead of hashing enum members.
+_ST_I = CACHE_STATE_INDEX[CS.I]
+_ST_S = CACHE_STATE_INDEX[CS.S]
+_ST_T = CACHE_STATE_INDEX[CS.T]
+_ST_E = CACHE_STATE_INDEX[CS.E]
+_ST_IS_D = CACHE_STATE_INDEX[CS.IS_D]
+_ST_IM_D = CACHE_STATE_INDEX[CS.IM_D]
+_ST_SM_W = CACHE_STATE_INDEX[CS.SM_W]
+_ST_SM_WI = CACHE_STATE_INDEX[CS.SM_WI]
+_ST_E_A = CACHE_STATE_INDEX[CS.E_A]
+
+_EV_LOAD = CACHE_EVENT_INDEX[E.LOAD]
+_EV_STORE = CACHE_EVENT_INDEX[E.STORE]
+_EV_SYNC_STORE = CACHE_EVENT_INDEX[E.SYNC_STORE]
+_EV_WRITE_AFTER_READ = CACHE_EVENT_INDEX[E.WRITE_AFTER_READ]
+_EV_SI_SYNC = CACHE_EVENT_INDEX[E.SI_SYNC]
+_EV_SI_OVERFLOW = CACHE_EVENT_INDEX[E.SI_OVERFLOW]
+_EV_SC_DROP = CACHE_EVENT_INDEX[E.SC_DROP]
+_EV_EVICT = CACHE_EVENT_INDEX[E.EVICT]
+
+#: MsgKind (IntEnum) -> (cache event index, needs frame lookup); list-indexed.
+_MSG_EVENTS = [None] * (max(int(kind) for kind in MsgKind) + 1)
+for _kind, _event, _needs_frame in (
+    (MsgKind.DATA, E.DATA, False),
+    (MsgKind.DATA_EX, E.DATA_EX, False),
+    (MsgKind.UPGRADE_ACK, E.UPGRADE_ACK, False),
+    (MsgKind.ACK_DONE, E.ACK_DONE, False),
+    (MsgKind.INV, E.INV, True),
+    (MsgKind.WB_REQ, E.WB_REQ, True),
+):
+    _MSG_EVENTS[_kind] = (CACHE_EVENT_INDEX[_event], _needs_frame)
+del _kind, _event, _needs_frame
 
 #: statuses returned to the processor
 HIT = "hit"
@@ -174,6 +216,13 @@ class CacheController:
         self.obs = instrument
         self.variant = ProtocolVariant.from_config(config)
         self.table = cache_table(self.variant)
+        self.ctable = compiled_cache_table(self.variant)
+        # One bound decide per controller: the compiled guard-tree walk, or
+        # the original interpreter (--no-fastpath / DSI_NO_FASTPATH).
+        self._decide = (
+            self.ctable.decide if config.compiled_dispatch
+            else self.ctable.decide_interpreted
+        )
         self.cache = Cache(config, node)
         self.resource = Resource(sim, name=f"cc{node}")
         self.mshrs = {}
@@ -250,24 +299,61 @@ class CacheController:
             return CS.E
         return CS.S
 
-    def _dispatch(self, event, ctx, state=None):
-        """Derive state, decide on the table row, execute its actions."""
-        if state is None:
+    def _derive_state_idx(self, block, frame):
+        """Integer form of :meth:`_derive_state` for the compiled path."""
+        mshr = self.mshrs.get(block)
+        if mshr is not None:
+            if mshr.acks_pending:
+                return _ST_E_A
+            kind = mshr.kind
+            if kind == MSHR_READ:
+                return _ST_IS_D
+            if kind == MSHR_WRITE:
+                return _ST_IM_D
+            return _ST_SM_WI if mshr.invalidated else _ST_SM_W
+        if frame is None or not frame.valid:
+            return _ST_I
+        if frame.tearoff:
+            return _ST_T
+        if frame.state == EXCLUSIVE:
+            return _ST_E
+        return _ST_S
+
+    @staticmethod
+    def _frame_state_idx(frame):
+        """Integer form of :meth:`_frame_state` (frames and victims)."""
+        if frame is None or not getattr(frame, "valid", True):
+            return _ST_I
+        if frame.tearoff:
+            return _ST_T
+        if frame.state == EXCLUSIVE:
+            return _ST_E
+        return _ST_S
+
+    def _dispatch(self, event, ctx, state=-1):
+        """Derive state, decide on the table row, execute its actions.
+
+        ``event`` and ``state`` are integer indexes into the compiled
+        table's event/state spaces (``repro.coherence.compile``); the
+        decide binding chose the compiled tree or the interpreter at
+        construction time.
+        """
+        if state < 0:
             ctx.mshr = self.mshrs.get(ctx.block)
-            state = self._derive_state(ctx.block, ctx.frame)
-        row = self.table.decide(state, event, ctx)
+            state = self._derive_state_idx(ctx.block, ctx.frame)
+        row = self._decide(state, event, ctx)
         if self.obs is not None:
             self.obs.protocol_transition(
-                "cache", self.node, ctx.block, state.value, event.value,
-                (row.next_state or state).value,
+                "cache", self.node, ctx.block, row.state_name, row.event_name,
+                row.next_name,
             )
         if row.error is not None:
             raise ProtocolError(
                 f"cache {self.node}: {row.error} "
-                f"(block {ctx.block}, state {state.value})"
+                f"(block {ctx.block}, state {row.state_name})"
             )
-        for action in row.actions:
-            _ACTIONS[action](self, ctx)
+        for fn in row.fns:
+            fn(self, ctx)
         return row.result
 
     # ------------------------------------------------------------------
@@ -287,7 +373,7 @@ class CacheController:
             self.pts = max(self.pts, frame.wts)
         if self.monitor:
             self.monitor.on_read(self.node, block, frame.data)
-        self.misses.bump("read_hits")
+        self.misses.read_hits += 1
         return True
 
     def try_write(self, block, stamp):
@@ -300,7 +386,7 @@ class CacheController:
             if self._tardis:
                 self._tardis_write_bump(frame)
             self._apply_write(frame, stamp)
-            self.misses.bump("write_hits")
+            self.misses.write_hits += 1
             return True
         if self._wc:
             mshr = self.mshrs.get(block)
@@ -308,12 +394,12 @@ class CacheController:
                 if mshr.kind in (MSHR_WRITE, MSHR_UPGRADE):
                     self.write_buffer.merge(block, stamp)
                     mshr.stamp = stamp
-                    self.misses.bump("write_hits")
+                    self.misses.write_hits += 1
                     return True
                 if mshr.pending_write is not None:
                     self.write_buffer.merge(block, stamp)
                     mshr.pending_write = (stamp,)
-                    self.misses.bump("write_hits")
+                    self.misses.write_hits += 1
                     return True
         return False
 
@@ -321,7 +407,7 @@ class CacheController:
         """Processor load.  Returns HIT, or WAIT (``on_done(inval_wait,
         reason)`` fires later; reason is "miss" or "read_wb")."""
         frame = self.cache.lookup(block)
-        return self._dispatch(E.LOAD, _Ctx(self, block, frame=frame, on_done=on_done))
+        return self._dispatch(_EV_LOAD, _Ctx(self, block, frame=frame, on_done=on_done))
 
     def write(self, block, stamp, on_done):
         """Processor store.
@@ -335,7 +421,7 @@ class CacheController:
         frame = self.cache.lookup(block)
         ctx = _Ctx(self, block, frame=frame, stamp=stamp, on_done=on_done,
                    blocking=not self._wc)
-        return self._dispatch(E.STORE, ctx)
+        return self._dispatch(_EV_STORE, ctx)
 
     def sync_write(self, block, stamp, on_done):
         """A swap-like write (lock word): always synchronous, even under
@@ -343,7 +429,7 @@ class CacheController:
         frame = self.cache.lookup(block)
         ctx = _Ctx(self, block, frame=frame, stamp=stamp, on_done=on_done,
                    blocking=True, sync=True)
-        return self._dispatch(E.SYNC_STORE, ctx)
+        return self._dispatch(_EV_SYNC_STORE, ctx)
 
     def _wc_write_retry(self, block, stamp, on_done):
         status = self.write(block, stamp, on_done)
@@ -379,10 +465,10 @@ class CacheController:
         notices = []
         # States are derived up front: a FIFO can list the same frame twice,
         # and the duplicate must replay the same row it matched while valid.
-        ordered = [(f, self._frame_state(f)) for f in tearoff_frames + tracked]
+        ordered = [(f, self._frame_state_idx(f)) for f in tearoff_frames + tracked]
         for frame, state in ordered:
             ctx = _Ctx(self, frame.tag, frame=frame, notices=notices)
-            self._dispatch(E.SI_SYNC, ctx, state=state)
+            self._dispatch(_EV_SI_SYNC, ctx, state=state)
         for msg in notices:
             self._pending_notices[msg.block] = msg
         self.resource.submit(cost, self._flush_send, notices, on_done)
@@ -435,7 +521,7 @@ class CacheController:
         (the IM_D/SM_W/E_A "keep" rows — the s bit stays set, so the block
         still dies at the next sync-point flush) or when the FIFO entry is
         stale."""
-        self._dispatch(E.SI_OVERFLOW, _Ctx(self, frame.tag, frame=frame))
+        self._dispatch(_EV_SI_OVERFLOW, _Ctx(self, frame.tag, frame=frame))
 
     # ------------------------------------------------------------------
     # Outgoing requests
@@ -476,23 +562,12 @@ class CacheController:
         self.resource.submit(self.config.cache_ctrl_cycles, self._process, msg)
 
     def _process(self, msg):
-        kind = msg.kind
-        if kind is MsgKind.DATA:
-            self._dispatch(E.DATA, _Ctx(self, msg.block, msg=msg))
-        elif kind is MsgKind.DATA_EX:
-            self._dispatch(E.DATA_EX, _Ctx(self, msg.block, msg=msg))
-        elif kind is MsgKind.UPGRADE_ACK:
-            self._dispatch(E.UPGRADE_ACK, _Ctx(self, msg.block, msg=msg))
-        elif kind is MsgKind.ACK_DONE:
-            self._dispatch(E.ACK_DONE, _Ctx(self, msg.block, msg=msg))
-        elif kind is MsgKind.INV:
-            frame = self.cache.lookup(msg.block, touch=False)
-            self._dispatch(E.INV, _Ctx(self, msg.block, frame=frame, msg=msg))
-        elif kind is MsgKind.WB_REQ:
-            frame = self.cache.lookup(msg.block, touch=False)
-            self._dispatch(E.WB_REQ, _Ctx(self, msg.block, frame=frame, msg=msg))
-        else:
+        entry = _MSG_EVENTS[msg.kind]
+        if entry is None:
             raise ProtocolError(f"cache {self.node} received unexpected {msg!r}")
+        event, needs_frame = entry
+        frame = self.cache.lookup(msg.block, touch=False) if needs_frame else None
+        self._dispatch(event, _Ctx(self, msg.block, frame=frame, msg=msg))
 
     def _read_complete(self, mshr, msg, frame):
         if self.monitor:
@@ -503,8 +578,8 @@ class CacheController:
             # A WC write arrived while the read was in flight: upgrade now.
             (stamp,) = mshr.pending_write
             ctx = _Ctx(self, msg.block, frame=frame, stamp=stamp)
-            self._dispatch(E.WRITE_AFTER_READ, ctx,
-                           state=self._frame_state(frame))
+            self._dispatch(_EV_WRITE_AFTER_READ, ctx,
+                           state=self._frame_state_idx(frame))
 
     def _write_granted(self, mshr, msg, frame):
         if self.monitor and msg.kind is not MsgKind.UPGRADE_ACK:
@@ -595,9 +670,9 @@ class CacheController:
         frame, block = self._tearoff_frame
         self._tearoff_frame = None
         state = (
-            CS.T if frame.valid and frame.tearoff and frame.tag == block else CS.I
+            _ST_T if frame.valid and frame.tearoff and frame.tag == block else _ST_I
         )
-        self._dispatch(E.SC_DROP, _Ctx(self, block, frame=frame), state=state)
+        self._dispatch(_EV_SC_DROP, _Ctx(self, block, frame=frame), state=state)
 
     def _after_si_fill(self, frame):
         self.misses.bump("si_marked_fills")
@@ -616,7 +691,7 @@ class CacheController:
 
     def _evict(self, victim):
         ctx = _Ctx(self, victim.block, victim=victim)
-        self._dispatch(E.EVICT, ctx, state=self._frame_state(victim))
+        self._dispatch(_EV_EVICT, ctx, state=self._frame_state_idx(victim))
 
     # ------------------------------------------------------------------
     # Action implementations (one bound method per CacheAction)
@@ -773,6 +848,7 @@ class CacheController:
         frame = ctx.frame = ctx.mshr.frame
         frame.state = EXCLUSIVE
         frame.version = ctx.msg.version
+        self.cache.note_frame_changed(frame)
         if self.monitor:
             self.monitor.on_fill(self.node, ctx.block, EXCLUSIVE, frame.data, False)
 
@@ -1007,3 +1083,17 @@ _ACTIONS = {
     action: getattr(CacheController, f"_act_{action.value}")
     for action in A
 }
+
+#: variant -> CompiledTable, memoized like cache_table's own cache.
+_COMPILED = {}
+
+
+def compiled_cache_table(variant):
+    """The compiled (integer-indexed) form of ``cache_table(variant)``."""
+    compiled = _COMPILED.get(variant)
+    if compiled is None:
+        compiled = compile_table(
+            cache_table(variant), CACHE_STATES, CACHE_EVENTS, _Ctx, _ACTIONS
+        )
+        _COMPILED[variant] = compiled
+    return compiled

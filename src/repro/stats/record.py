@@ -12,6 +12,8 @@ It subclasses ``RunResult``, so every consumer of a live result
 ``misses.fifo_overflows``, ...) reads a record identically.
 """
 
+import math
+
 from repro.stats.breakdown import CATEGORIES, Breakdown
 from repro.stats.counters import MessageCounters, MissCounters
 from repro.stats.report import RunResult
@@ -37,11 +39,20 @@ class RunRecord(RunResult):
         self.sim_cycles_per_s = sim_cycles_per_s
 
     def set_timing(self, wall_time_s):
-        """Record how long the simulation took on the host."""
+        """Record how long the simulation took on the host.
+
+        ``sim_cycles_per_s`` is left ``None`` — never raised on, never
+        ``inf``/``nan`` — when the wall time is missing, non-finite, or
+        zero/sub-resolution (a sufficiently fast run can land inside one
+        clock tick), so BENCH JSON stays schema-valid and downstream
+        ratio math can simply skip the entry."""
         self.wall_time_s = wall_time_s
-        self.sim_cycles_per_s = (
-            self.exec_time / wall_time_s if wall_time_s and wall_time_s > 0 else None
-        )
+        rate = None
+        if wall_time_s is not None and math.isfinite(wall_time_s) and wall_time_s > 0:
+            rate = self.exec_time / wall_time_s
+            if not math.isfinite(rate):
+                rate = None
+        self.sim_cycles_per_s = rate
 
     @classmethod
     def from_result(cls, result):

@@ -27,6 +27,18 @@ def test_render_is_deterministic():
     assert docgen.render() == docgen.render()
 
 
+def test_rendered_block_states_single_source_of_truth():
+    """The generated block must tell readers that the tables drive both
+    the interpreted controllers and the compiled dispatch layer — the
+    note that keeps table edits from being applied to one path only."""
+    text = docgen.render()
+    assert "single source" in text
+    assert "repro/coherence/compile.py" in text
+    assert "repro.harness.equivalence" in text
+    document = docgen.default_path().read_text(encoding="utf-8")
+    assert "single source" in document
+
+
 def test_render_covers_tardis_tables():
     """The Tardis family renders alongside the DSI reference variants,
     and its tables are invalidation-free: every INV/INV_ACK row is an

@@ -106,6 +106,17 @@ class TestResultCache:
         assert len(code_fingerprint()) == 64
         int(code_fingerprint(), 16)
 
+    def test_fingerprint_folds_in_execution_mode(self, monkeypatch):
+        from repro.harness import runpool
+
+        monkeypatch.delenv("DSI_NO_FASTPATH", raising=False)
+        fast = code_fingerprint()
+        monkeypatch.setenv("DSI_NO_FASTPATH", "1")
+        reference = code_fingerprint()
+        assert fast != reference
+        assert fast == runpool._FINGERPRINTS["fast"]
+        assert reference == runpool._FINGERPRINTS["reference"]
+
 
 class TestRunnerIntegration:
     def test_prefetch_then_collect_no_extra_runs(self):
@@ -168,6 +179,25 @@ class TestRunTelemetry:
         second = RunPool(jobs=1).run(spec)
         second.wall_time_s = (first.wall_time_s or 0) + 100.0
         assert first == second
+
+    def test_degenerate_wall_times_yield_none_rate(self):
+        # A sub-resolution timer can hand set_timing zero (or garbage);
+        # the rate must come out None — never a raise, never inf/nan in
+        # the BENCH JSON.
+        record = RunPool(jobs=1).run(_specs()[0])
+        for wall in (0.0, -1.0, None, float("inf"), float("nan")):
+            record.set_timing(wall)
+            assert record.sim_cycles_per_s is None
+            assert record.wall_time_s is wall or record.wall_time_s == wall
+        # And a sane wall time restores a finite rate.
+        record.set_timing(2.0)
+        assert record.sim_cycles_per_s == pytest.approx(record.exec_time / 2.0)
+
+    def test_zero_exec_time_rate_is_finite_or_none(self):
+        record = RunPool(jobs=1).run(_specs()[0])
+        record.exec_time = 0
+        record.set_timing(0.5)
+        assert record.sim_cycles_per_s == 0
 
     def test_cached_records_keep_original_timing(self, tmp_path):
         spec = _specs()[0]
