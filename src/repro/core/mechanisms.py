@@ -72,14 +72,14 @@ class FifoMechanism:
         self-invalidated *now*) if it is still resident and still marked."""
         self.fifo.append(frame.tag)
         if self.obs is not None:
-            self.obs.fifo_push(self.node, len(self.fifo))
+            self.obs.fifo_push(self.node, len(self.fifo), block=frame.tag)
         if len(self.fifo) <= self.capacity:
             return None
         victim_block = self.fifo.popleft()
         self.overflows += 1
         if self.obs is not None:
-            self.obs.fifo_overflow(self.node)
-            self.obs.fifo_pop(self.node, len(self.fifo))
+            self.obs.fifo_overflow(self.node, block=victim_block)
+            self.obs.fifo_pop(self.node, len(self.fifo), block=victim_block)
         victim = self.cache.lookup(victim_block, touch=False)
         if victim is not None and victim.s_bit:
             return victim

@@ -331,7 +331,8 @@ class DirectoryController:
         if self.obs is not None:
             if row.txn_kind is not None:
                 self.obs.dir_txn_begin(
-                    self.node, ctx.msg.block, row.txn_kind, ctx.msg.src
+                    self.node, ctx.msg.block, row.txn_kind, ctx.msg.src,
+                    txn_id=ctx.msg.txn_id,
                 )
             self.obs.protocol_transition(
                 "dir", self.node, ctx.msg.block,
@@ -402,11 +403,11 @@ class DirectoryController:
         entry, txn = ctx.entry, ctx.txn
         txn.pending_inv.add(entry.owner)
         txn.inv_sent_at = self.sim.now
-        self._send_inv(ctx.msg.block, entry.owner)
+        self._send_inv(ctx.msg.block, entry.owner, txn=ctx.msg.txn_id)
 
     def _act_inv_sharers(self, ctx):
         for target in ctx.targets:
-            self._send_inv(ctx.msg.block, target)
+            self._send_inv(ctx.msg.block, target, txn=ctx.msg.txn_id)
 
     def _act_grant_read_tearoff(self, ctx):
         self._grant_read(ctx.entry, ctx.msg, ctx.decision, ctx.inval_wait)
@@ -436,7 +437,7 @@ class DirectoryController:
         src = msg.src
         txn.pending_inv.discard(src)
         if self.obs is not None:
-            self.obs.inv_acked(self.node, msg.block, src)
+            self.obs.inv_acked(self.node, msg.block, src, txn_id=msg.txn_id)
         if msg.carries_data:
             entry.data = msg.data
         elif txn.migratory_read and entry.owner == src:
@@ -465,7 +466,8 @@ class DirectoryController:
     def _act_send_ack_done(self, ctx):
         txn = ctx.txn
         self.network.send(
-            Message(MsgKind.ACK_DONE, txn.msg.block, src=self.node, dst=txn.msg.src)
+            Message(MsgKind.ACK_DONE, txn.msg.block, src=self.node,
+                    dst=txn.msg.src, txn_id=txn.msg.txn_id)
         )
         if self.obs is not None:
             self.obs.dir_txn_end(self.node, txn.msg.block)
@@ -554,11 +556,13 @@ class DirectoryController:
                 carries_data=True,
                 wts=entry.wts,
                 rts=entry.rts,
+                txn_id=msg.txn_id,
             )
         )
         if self.obs is not None:
             self.obs.lease_grant(self.node, msg.block, msg.src, lease, renewed, changed)
-            self.obs.dir_grant(self.node, msg.block, msg.src, "read", False, False)
+            self.obs.dir_grant(self.node, msg.block, msg.src, "read", False, False,
+                               txn_id=msg.txn_id)
             self.obs.dir_txn_end(self.node, msg.block)
 
     def _act_tardis_grant_write(self, ctx):
@@ -588,19 +592,22 @@ class DirectoryController:
                 carries_data=kind is MsgKind.DATA_EX,
                 wts=wts,
                 rts=wts,
+                txn_id=msg.txn_id,
             )
         )
         if self.obs is not None:
             self.obs.dir_grant(
                 self.node, msg.block, msg.src,
                 "upgrade" if upgrade else "write", False, False,
+                txn_id=msg.txn_id,
             )
             self.obs.dir_txn_end(self.node, msg.block)
 
     def _act_request_wb(self, ctx):
         self.network.send(
             Message(
-                MsgKind.WB_REQ, ctx.msg.block, src=self.node, dst=ctx.entry.owner
+                MsgKind.WB_REQ, ctx.msg.block, src=self.node,
+                dst=ctx.entry.owner, txn_id=ctx.msg.txn_id,
             )
         )
 
@@ -671,11 +678,13 @@ class DirectoryController:
                 inval_wait=inval_wait,
                 data=entry.data,
                 carries_data=True,
+                txn_id=msg.txn_id,
             )
         )
         if self.obs is not None:
             self.obs.dir_grant(
-                self.node, msg.block, requester, "read", bool(decision.si), tearoff
+                self.node, msg.block, requester, "read", bool(decision.si), tearoff,
+                txn_id=msg.txn_id,
             )
             self.obs.dir_txn_end(self.node, msg.block)
 
@@ -701,20 +710,24 @@ class DirectoryController:
                 data=entry.data,
                 acks_pending=acks_pending,
                 carries_data=kind is MsgKind.DATA_EX,
+                txn_id=msg.txn_id,
             )
         )
         if self.obs is not None:
             self.obs.dir_grant(
                 self.node, msg.block, requester,
                 "upgrade" if upgrade_grant else "write", bool(decision.si), False,
+                txn_id=msg.txn_id,
             )
             if not acks_pending:
                 self.obs.dir_txn_end(self.node, msg.block)
 
-    def _send_inv(self, block, target):
+    def _send_inv(self, block, target, txn=None):
         if self.obs is not None:
-            self.obs.inv_sent(self.node, block, target)
-        self.network.send(Message(MsgKind.INV, block, src=self.node, dst=target))
+            self.obs.inv_sent(self.node, block, target, txn_id=txn)
+        self.network.send(
+            Message(MsgKind.INV, block, src=self.node, dst=target, txn_id=txn)
+        )
 
     def _drain_deferred(self, entry):
         while entry.deferred and not entry.busy:

@@ -17,6 +17,13 @@ Examples::
                                      # instrumented run: Perfetto trace +
                                      # metrics dump (see docs/OBSERVABILITY.md)
     dsi-sim trace em3d --block 130   # per-block coherence timeline
+    dsi-sim why em3d --protocol V    # causal cycle accounting: where did
+                                     # every cycle go? (+ top-K transaction
+                                     # chains; see docs/OBSERVABILITY.md)
+    dsi-sim why em3d --protocol V --diff SC
+                                     # mechanistic two-variant diff
+    dsi-sim trace em3d --txn 412     # replay one costly transaction as an
+                                     # ASCII causal timeline
     dsi-sim analyze migratory        # sharing-pattern classification +
                                      # DSI-accuracy report + runtime audit
     dsi-sim bench --suite quick      # benchmark snapshot -> BENCH_*.json
@@ -100,13 +107,14 @@ def build_parser():
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'all', 'ablations', 'bars', "
-        "'run', 'trace', 'analyze', 'bench', 'gen', or 'check-protocol'",
+        "'run', 'trace', 'why', 'analyze', 'bench', 'gen', or "
+        "'check-protocol'",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="trace/analyze: workload name (equivalent to --workload)",
+        help="trace/why/analyze: workload name (equivalent to --workload)",
     )
     parser.add_argument(
         "--procs",
@@ -183,7 +191,12 @@ def build_parser():
     parser.add_argument(
         "--latency", type=int, default=100, help="run: network latency in cycles"
     )
-    parser.add_argument("-o", "--output", help="gen: output .npz path")
+    parser.add_argument(
+        "-o",
+        "--output",
+        help="gen: output .npz path; why: write the JSON report here "
+        "(in addition to stdout); bench: snapshot path",
+    )
     parser.add_argument(
         "--show-trace",
         type=int,
@@ -213,13 +226,29 @@ def build_parser():
         metavar="N",
         help="trace: restrict the message log to block N (repeatable)",
     )
-    # analyze options
+    parser.add_argument(
+        "--txn",
+        type=int,
+        action="append",
+        metavar="ID",
+        help="trace: replay causal transaction ID — its messages plus an "
+        "ASCII chain/segment timeline (repeatable; ids come from "
+        "'dsi-sim why' and are stable across instrumented re-runs)",
+    )
+    # analyze / why options
     parser.add_argument(
         "--top",
         type=int,
         default=12,
         metavar="N",
-        help="analyze: hottest blocks to list in the per-block table",
+        help="analyze: hottest blocks to list; why: costliest "
+        "transactions to show with their causal chains",
+    )
+    parser.add_argument(
+        "--diff",
+        metavar="PROTOCOL",
+        help="why: also run PROTOCOL on the same workload and print a "
+        "category-by-category cycle diff (e.g. --protocol V --diff SC)",
     )
     parser.add_argument(
         "--no-audit",
@@ -327,8 +356,8 @@ def main(argv=None):
         for name in EXPERIMENTS:
             print(name)
         for extra in (
-            "bars", "run", "trace", "analyze", "bench", "gen", "describe",
-            "check-protocol",
+            "bars", "run", "trace", "why", "analyze", "bench", "gen",
+            "describe", "check-protocol",
         ):
             print(extra)
         return 0
@@ -340,6 +369,8 @@ def main(argv=None):
         return _run_one(args)
     if args.experiment == "trace":
         return _trace(args)
+    if args.experiment == "why":
+        return _why(args)
     if args.experiment == "analyze":
         return _analyze(args)
     if args.experiment == "gen":
@@ -657,9 +688,11 @@ def _trace(args):
 
     Always attaches the instrument (the point of the verb is to look
     inside the run); ``--block`` narrows the message table to chosen
-    blocks, ``--perfetto``/``--metrics`` additionally export the trace.
+    blocks, ``--txn`` narrows it to chosen causal transactions and
+    replays each as an ASCII chain, ``--perfetto``/``--metrics``
+    additionally export the trace.
     """
-    from repro.obs import Instrument, ascii_timeline
+    from repro.obs import CausalInstrument, Instrument, ascii_timeline, format_txn
     from repro.stats.tracer import MessageTracer, attach_tracer
 
     if args.target and not args.workload and not args.trace:
@@ -674,14 +707,18 @@ def _trace(args):
         n_procs=program.n_procs,
         **_protocol_overrides(args),
     )
-    instrument = Instrument()
+    txns = set(args.txn) if args.txn else None
+    # --txn needs the causal stitcher; ids are deterministic across
+    # instrumented runs, so an id from 'dsi-sim why' replays here.
+    instrument = CausalInstrument(keep_txns=txns) if txns else Instrument()
     started = time.time()
     machine = Machine(config, program, instrument=instrument)
     tracer = attach_tracer(
         machine,
         MessageTracer(
             blocks=args.block,
-            max_events=args.show_trace or (200 if args.block else 40),
+            txns=txns,
+            max_events=args.show_trace or (200 if (args.block or txns) else 40),
         ),
     )
     result = machine.run()
@@ -691,10 +728,28 @@ def _trace(args):
           f"net={config.network_latency}\n")
     print(ascii_timeline(instrument))
     print()
-    scope = f" (blocks {sorted(set(args.block))})" if args.block else ""
+    scopes = []
+    if args.block:
+        scopes.append(f"blocks {sorted(set(args.block))}")
+    if txns:
+        scopes.append(f"txns {sorted(txns)}")
+    scope = f" ({', '.join(scopes)})" if scopes else ""
     print(f"messages{scope}:")
     print(tracer.format())
     print()
+    if txns:
+        for txn_id in sorted(txns):
+            txn = instrument.txn(txn_id)
+            if txn is None:
+                print(
+                    f"txn #{txn_id}: not found in this run "
+                    f"({instrument.txn_total} transactions were issued; "
+                    f"ids come from 'dsi-sim why' with the same workload, "
+                    f"protocol and --procs)"
+                )
+            else:
+                print(format_txn(txn))
+            print()
     rows = []
     for category in instrument.CATEGORIES:
         histogram = instrument.latency[category]
@@ -730,6 +785,86 @@ def _trace(args):
             "message_trace": _tracer_telemetry(tracer),
         },
     )
+    return 0
+
+
+def _why(args):
+    """Causal critical-path observatory: run one workload under the
+    causal tracer and report the exact cycle accounting — every cycle of
+    every node attributed to one of the ten causal categories, with a
+    hard conservation check, the top-K costliest transactions as
+    replayable chains, and an optional mechanistic two-variant diff."""
+    from repro.obs import CausalInstrument, diff_why, format_txn, format_why, write_why
+
+    if args.target and not args.workload and not args.trace:
+        args.workload = args.target
+    if args.variant:
+        # ISSUE-era spelling: --variant is an alias for --protocol here
+        # (check-protocol keeps its substring-filter meaning).
+        args.protocol = args.variant
+    program = _load_run_program(args)
+    if program is None:
+        return 2
+
+    def run_variant(protocol):
+        config = paper_config(
+            protocol,
+            cache=args.cache,
+            latency=args.latency,
+            n_procs=program.n_procs,
+            **_protocol_overrides(args),
+        )
+        instrument = CausalInstrument()
+        result = Machine(config, program, instrument=instrument).run()
+        report = instrument.why_report(
+            workload=program.describe(),
+            protocol=config.describe(),
+            top=args.top,
+        )
+        return config, instrument, result, report
+
+    started = time.time()
+    config, instrument, result, report = run_variant(args.protocol)
+    diff = None
+    if args.diff:
+        # The --diff protocol is the *base* of the comparison: positive
+        # deltas mean the primary run spends more cycles there.
+        _, _, _, base_report = run_variant(args.diff)
+        diff = diff_why(base_report, report)
+    wall = time.time() - started
+    _write_obs_outputs(
+        args,
+        instrument,
+        extra={"workload": program.describe(), "protocol": config.describe()},
+    )
+    payload = dict(report)
+    if diff is not None:
+        payload["diff"] = diff
+    if args.output:
+        write_why(payload, args.output)
+        print(f"# wrote why report -> {args.output}", file=sys.stderr)
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"workload: {program.describe()}")
+    print(f"protocol: {config.describe()}  cache={config.cache_size // 1024}KB "
+          f"net={config.network_latency}\n")
+    print(format_why(report, diff=diff))
+    top = report["top"]
+    if top:
+        print()
+        print(f"costliest {len(top)} transactions:")
+        print()
+        for entry in top:
+            txn = instrument.txn(entry["txn"])
+            if txn is not None:
+                print(format_txn(txn))
+                print()
+    replay = f"dsi-sim trace {args.workload or '--trace ...'}"
+    if args.protocol != "SC":
+        replay += f" --protocol {args.protocol}"
+    print(f"execution time: {result.exec_time} cycles ({wall:.1f}s); "
+          f"replay any chain with: {replay} --txn ID")
     return 0
 
 

@@ -64,7 +64,7 @@ class CoalescingWriteBuffer:
         self.entries[block] = entry
         self.peak_occupancy = max(self.peak_occupancy, len(self.entries))
         if self.obs is not None:
-            self.obs.wb_fill(self.node, len(self.entries))
+            self.obs.wb_fill(self.node, len(self.entries), block=block)
         return entry
 
     def merge(self, block, data):
@@ -86,7 +86,7 @@ class CoalescingWriteBuffer:
             raise SimulationError(f"retiring unknown write-buffer entry {block}")
         del self.entries[block]
         if self.obs is not None:
-            self.obs.wb_drain(self.node, len(self.entries))
+            self.obs.wb_drain(self.node, len(self.entries), block=block)
         if self._on_space:
             waiters, self._on_space = self._on_space, []
             for callback in waiters:

@@ -94,6 +94,15 @@ class Message:
         (Tardis) requester metadata: the program timestamp on a request,
         and the requester's cached ``wts`` on an UPGRADE (the home grants
         exclusivity without data only when it matches the memory copy).
+    txn_id:
+        Causal-tracing transaction id (:mod:`repro.obs.causal`): the id of
+        the cache-side coherence transaction this message belongs to.
+        Requests carry their MSHR's id; responses, INVs triggered by the
+        request, the INV acks they provoke and the WC ACK_DONE all echo
+        it, so the whole fan-out shares one causal parent.  ``None``
+        whenever no instrument is attached (ids are only allocated under
+        observation) or the message is not part of a transaction
+        (writebacks, replacement notices, SI notifications).
     """
 
     __slots__ = (
@@ -113,6 +122,7 @@ class Message:
         "wts",
         "rts",
         "ts",
+        "txn_id",
     )
 
     def __init__(
@@ -133,6 +143,7 @@ class Message:
         wts=0,
         rts=0,
         ts=None,
+        txn_id=None,
     ):
         self.kind = kind
         self.block = block
@@ -150,6 +161,7 @@ class Message:
         self.wts = wts
         self.rts = rts
         self.ts = ts
+        self.txn_id = txn_id
 
     def __repr__(self):
         flags = []

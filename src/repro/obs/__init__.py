@@ -29,12 +29,22 @@ enabled-vs-disabled equivalence run.
 
 from repro.obs.analytics import AnalyticsInstrument, SharingClassifier
 from repro.obs.audit import MessageLedger, audit_coherence
+from repro.obs.causal import (
+    CAUSAL_CATEGORIES,
+    CausalInstrument,
+    TxnTrace,
+    WHY_SCHEMA_VERSION,
+    diff_why,
+    format_txn,
+    format_why,
+)
 from repro.obs.export import (
     ascii_timeline,
     metrics_dict,
     to_perfetto,
     write_metrics,
     write_perfetto,
+    write_why,
 )
 from repro.obs.instrument import Instrument
 from repro.obs.samplers import Histogram, TimeSeries
@@ -43,6 +53,13 @@ from repro.obs.spans import Span
 __all__ = [
     "Instrument",
     "AnalyticsInstrument",
+    "CausalInstrument",
+    "TxnTrace",
+    "CAUSAL_CATEGORIES",
+    "WHY_SCHEMA_VERSION",
+    "diff_why",
+    "format_txn",
+    "format_why",
     "SharingClassifier",
     "MessageLedger",
     "audit_coherence",
@@ -53,5 +70,6 @@ __all__ = [
     "write_perfetto",
     "metrics_dict",
     "write_metrics",
+    "write_why",
     "ascii_timeline",
 ]

@@ -418,18 +418,18 @@ class AnalyticsInstrument(Instrument):
         self.classifier.on_self_invalidate(self.now, block, node)
 
     # -- directory -----------------------------------------------------
-    def dir_txn_begin(self, home, block, kind, requester):
+    def dir_txn_begin(self, home, block, kind, requester, txn_id=None):
         # The base class keeps exactly one open span per (home, block), so
         # "span not open yet" distinguishes a *new* logical request from a
         # replay of the same one (deferred-queue drain, post-writeback
         # restart) — replays must not double-count the access.
         fresh = not self.spans.is_open(("dir", home, block))
-        super().dir_txn_begin(home, block, kind, requester)
+        super().dir_txn_begin(home, block, kind, requester, txn_id=txn_id)
         if fresh:
             self.classifier.on_access(self.now, block, requester, kind)
 
-    def dir_grant(self, home, block, requester, kind, si, tearoff):
-        super().dir_grant(home, block, requester, kind, si, tearoff)
+    def dir_grant(self, home, block, requester, kind, si, tearoff, txn_id=None):
+        super().dir_grant(home, block, requester, kind, si, tearoff, txn_id=txn_id)
         self.classifier.on_grant(self.now, block, si, tearoff)
 
     # -- quiesce -------------------------------------------------------

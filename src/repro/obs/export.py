@@ -57,16 +57,22 @@ def _flow_events(instrument, max_flows=20_000):
     served it: a ``request`` arrow (miss start → dir start) and a
     ``response`` arrow (dir grant → miss completion).
 
-    Matching is by (requester, block) with the directory span starting
-    inside the miss span — the same containment a real request obeys.
-    Chrome's format requires the "s"/"f" anchors to fall *within* their
-    bound slices, so arrows anchor at slice starts and at ``end - 1``
-    (every exported slice has ``dur >= 1``).
+    Matching prefers the causal ``txn`` id both spans carry (the
+    transaction id propagated end-to-end through every message); spans
+    without one fall back to (requester, block) with the directory span
+    starting inside the miss span — the same containment a real request
+    obeys.  Chrome's format requires the "s"/"f" anchors to fall
+    *within* their bound slices, so arrows anchor at slice starts and at
+    ``end - 1`` (every exported slice has ``dur >= 1``).
     """
     misses = {}
+    miss_by_txn = {}
     for span in instrument.finished_spans():
         if span.category == "miss":
             misses.setdefault((span.node, span.args.get("block")), []).append(span)
+            txn = span.args.get("txn")
+            if txn is not None:
+                miss_by_txn[txn] = span
     for candidates in misses.values():
         candidates.sort(key=lambda s: s.start)
     events = []
@@ -74,13 +80,16 @@ def _flow_events(instrument, max_flows=20_000):
     for span in instrument.finished_spans():
         if span.category != "dir":
             continue
-        requester = span.args.get("requester")
-        candidates = misses.get((requester, span.args.get("block")))
-        if requester is None or not candidates:
-            continue
-        miss = next(
-            (m for m in candidates if m.start <= span.start <= m.end), None
-        )
+        txn = span.args.get("txn")
+        miss = miss_by_txn.get(txn) if txn is not None else None
+        if miss is None:
+            requester = span.args.get("requester")
+            candidates = misses.get((requester, span.args.get("block")))
+            if requester is None or not candidates:
+                continue
+            miss = next(
+                (m for m in candidates if m.start <= span.start <= m.end), None
+            )
         if miss is None or flow_id // 2 >= max_flows:
             continue
         events.append(_flow("request", flow_id, "s", miss.start, PID_PROC, miss.node))
@@ -215,6 +224,15 @@ def metrics_dict(instrument):
             ),
         },
     }
+
+
+def write_why(report, path):
+    """Write a ``why_report`` payload (see :mod:`repro.obs.causal`) as
+    stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
 
 
 def write_metrics(instrument, path, extra=None):

@@ -53,6 +53,7 @@ PROBE_TYPES = (
     "protocol_transition",
     "mshr_open",
     "mshr_close",
+    "txn_done",
     "dir_txn",
     "dir_grant",
     "dir_grant_si",
@@ -107,6 +108,7 @@ class Instrument:
         self.max_message_events = max_message_events
         self.messages_dropped = 0
         self._dir_open = Counter()
+        self._next_txn_id = 0
 
     # ------------------------------------------------------------------
     # Attachment
@@ -121,6 +123,21 @@ class Instrument:
     @property
     def now(self):
         return self.sim.now if self.sim is not None else 0
+
+    def alloc_txn(self):
+        """Hand out the next coherence-transaction id.
+
+        Called by a cache controller when it registers an MSHR; the id
+        rides the request :class:`~repro.network.message.Message` and is
+        echoed by every causally downstream message (grant, INV fan-out,
+        INV acks, ACK_DONE), keying the Perfetto flow arrows and the
+        causal DAGs of :mod:`repro.obs.causal`.  Ids are allocated in
+        dispatch order, so a deterministic simulation assigns identical
+        ids on every instrumented re-run — ``dsi-sim trace --txn N``
+        replays exactly the transaction ``dsi-sim why`` reported."""
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        return txn_id
 
     def _series(self, table, node, prefix):
         series = table.get(node)
@@ -186,7 +203,16 @@ class Instrument:
     # ------------------------------------------------------------------
     # MSHR probes (cache-side coherence transactions)
     # ------------------------------------------------------------------
-    def mshr_open(self, node, block, kind):
+    def mshr_open(self, node, block, kind, txn_id=None, blocking=False,
+                  sync=False, renewal=False):
+        """A cache-side coherence transaction opened.
+
+        ``txn_id`` is the causal id from :meth:`alloc_txn`; ``blocking``
+        means the issuing processor stalls until :meth:`txn_done`
+        (``False`` for WC buffered writes); ``sync`` marks a lock-word
+        transfer issued inside a synchronization operation; ``renewal``
+        marks a Tardis reload of a copy the cache only dropped because
+        its lease expired."""
         self.counts["mshr_open"] += 1
         self.spans.begin(
             ("mshr", node, block),
@@ -197,6 +223,7 @@ class Instrument:
             self.now,
             kind=kind,
             block=block,
+            txn=txn_id,
         )
 
     def mshr_close(self, node, block):
@@ -205,10 +232,19 @@ class Instrument:
         if span is not None:
             self.latency["miss"].add(span.duration)
 
+    def txn_done(self, node, block, txn_id):
+        """The transaction's completion callback fired at the requester.
+
+        Distinct from :meth:`mshr_close`: a fill deferred by pinned
+        frames pops the MSHR first and completes the waiting access only
+        once a frame frees up, so completion — the instant a blocking
+        processor's stall ends — can be later than the MSHR pop."""
+        self.counts["txn_done"] += 1
+
     # ------------------------------------------------------------------
     # Directory probes
     # ------------------------------------------------------------------
-    def dir_txn_begin(self, home, block, kind, requester):
+    def dir_txn_begin(self, home, block, kind, requester, txn_id=None):
         key = ("dir", home, block)
         self.counts["dir_txn"] += 1
         if not self.spans.is_open(key):
@@ -226,6 +262,7 @@ class Instrument:
             kind=kind,
             block=block,
             requester=requester,
+            txn=txn_id,
         )
 
     def dir_txn_end(self, home, block):
@@ -237,7 +274,7 @@ class Instrument:
                 self.now, self._dir_open[home]
             )
 
-    def dir_grant(self, home, block, requester, kind, si, tearoff):
+    def dir_grant(self, home, block, requester, kind, si, tearoff, txn_id=None):
         """The directory responded to a request (DATA/DATA_EX/UPGRADE_ACK).
 
         ``kind`` is "read", "write" or "upgrade"; ``si`` and ``tearoff``
@@ -250,7 +287,7 @@ class Instrument:
         if tearoff:
             self.counts["dir_grant_tearoff"] += 1
 
-    def inv_sent(self, home, block, target):
+    def inv_sent(self, home, block, target, txn_id=None):
         self.counts["inv_sent"] += 1
         self.spans.begin(
             ("inv", home, block, target),
@@ -261,9 +298,10 @@ class Instrument:
             self.now,
             block=block,
             target=target,
+            txn=txn_id,
         )
 
-    def inv_acked(self, home, block, target):
+    def inv_acked(self, home, block, target, txn_id=None):
         self.counts["inv_acked"] += 1
         span = self.spans.end(("inv", home, block, target), self.now)
         if span is not None:
@@ -296,25 +334,25 @@ class Instrument:
     # ------------------------------------------------------------------
     # Self-invalidation FIFO probes
     # ------------------------------------------------------------------
-    def fifo_push(self, node, depth):
+    def fifo_push(self, node, depth, block=None):
         self.counts["fifo_push"] += 1
         self._series(self.fifo_series, node, "fifo").record(self.now, depth)
 
-    def fifo_pop(self, node, depth):
+    def fifo_pop(self, node, depth, block=None):
         self.counts["fifo_pop"] += 1
         self._series(self.fifo_series, node, "fifo").record(self.now, depth)
 
-    def fifo_overflow(self, node):
+    def fifo_overflow(self, node, block=None):
         self.counts["fifo_overflow"] += 1
 
     # ------------------------------------------------------------------
     # Write-buffer probes
     # ------------------------------------------------------------------
-    def wb_fill(self, node, depth):
+    def wb_fill(self, node, depth, block=None):
         self.counts["wb_fill"] += 1
         self._series(self.wb_series, node, "wb").record(self.now, depth)
 
-    def wb_drain(self, node, depth):
+    def wb_drain(self, node, depth, block=None):
         self.counts["wb_drain"] += 1
         self._series(self.wb_series, node, "wb").record(self.now, depth)
 

@@ -123,6 +123,7 @@ class Mshr:
         "issued_at",
         "acks_pending",
         "pending_write",
+        "txn_id",
     )
 
     def __init__(self, kind, block, on_done=None, stamp=None, frame=None, sync=False):
@@ -137,13 +138,15 @@ class Mshr:
         self.issued_at = 0
         self.acks_pending = False
         self.pending_write = None  # (stamp,) write arrived while a read was in flight
+        self.txn_id = None  # causal id (allocated only under instrumentation)
 
 
 class _Ctx:
     """One dispatch's context: the table's guards are lazy properties."""
 
     __slots__ = ("ctrl", "block", "frame", "mshr", "msg", "stamp", "on_done",
-                 "blocking", "sync", "victim", "notices", "inv_data")
+                 "blocking", "sync", "victim", "notices", "inv_data",
+                 "lease_reload")
 
     def __init__(self, ctrl, block, frame=None, mshr=None, msg=None, stamp=None,
                  on_done=None, blocking=False, sync=False, victim=None,
@@ -160,6 +163,7 @@ class _Ctx:
         self.victim = victim
         self.notices = notices
         self.inv_data = 0
+        self.lease_reload = False  # (Tardis) this dispatch dropped an expired lease
 
     # Guards ------------------------------------------------------------
     @property
@@ -526,18 +530,31 @@ class CacheController:
     # ------------------------------------------------------------------
     # Outgoing requests
     # ------------------------------------------------------------------
-    def _register_mshr(self, mshr):
+    def _register_mshr(self, mshr, renewal=False):
         """Record an outstanding transaction (one probe span per MSHR)."""
         mshr.issued_at = self.sim.now
         self.mshrs[mshr.block] = mshr
         if self.obs is not None:
-            self.obs.mshr_open(self.node, mshr.block, _MSHR_NAMES[mshr.kind])
+            mshr.txn_id = self.obs.alloc_txn()
+            self.obs.mshr_open(
+                self.node,
+                mshr.block,
+                _MSHR_NAMES[mshr.kind],
+                txn_id=mshr.txn_id,
+                blocking=mshr.on_done is not None,
+                sync=mshr.sync,
+                renewal=renewal,
+            )
 
     def _close_mshr(self, block):
         if self.obs is not None:
             self.obs.mshr_close(self.node, block)
 
-    def _issue(self, kind, block, frame=None):
+    def _txn_done(self, mshr):
+        if self.obs is not None and mshr.txn_id is not None:
+            self.obs.txn_done(self.node, mshr.block, mshr.txn_id)
+
+    def _issue(self, kind, block, frame=None, txn=None):
         version = self.cache.stored_version(block) if self._send_versions else None
         msg = Message(
             kind,
@@ -545,6 +562,7 @@ class CacheController:
             src=self.node,
             dst=self.home_map.home_of(block),
             version=version,
+            txn_id=txn,
         )
         if self._tardis:
             # Requests carry the program timestamp; the upgrade carries its
@@ -572,6 +590,7 @@ class CacheController:
     def _read_complete(self, mshr, msg, frame):
         if self.monitor:
             self.monitor.on_read(self.node, msg.block, frame.data)
+        self._txn_done(mshr)
         if mshr.on_done is not None:
             mshr.on_done(msg.inval_wait, "miss")
         if mshr.pending_write is not None:
@@ -600,10 +619,13 @@ class CacheController:
         if self.write_buffer is not None and self.write_buffer.get(mshr.block) is not None:
             self.write_buffer.mark_data_arrived(mshr.block)
             self.write_buffer.retire(mshr.block)
+        self._txn_done(mshr)
         if mshr.on_done is not None:
             mshr.on_done(inval_wait, "miss")
 
     def _reply(self, kind, msg, data=0, dirty=False):
+        # Acks echo the incoming message's causal id (an INV carries the
+        # id of the transaction whose grant is waiting on this ack).
         self.network.send(
             Message(
                 kind,
@@ -613,6 +635,7 @@ class CacheController:
                 data=data,
                 dirty=dirty,
                 carries_data=dirty,
+                txn_id=msg.txn_id,
             )
         )
 
@@ -715,7 +738,7 @@ class CacheController:
 
     def _act_alloc_mshr_read(self, ctx):
         ctx.mshr = Mshr(MSHR_READ, ctx.block, on_done=ctx.on_done)
-        self._register_mshr(ctx.mshr)
+        self._register_mshr(ctx.mshr, renewal=ctx.lease_reload)
 
     def _act_alloc_mshr_write(self, ctx):
         ctx.mshr = Mshr(
@@ -742,13 +765,14 @@ class CacheController:
         ctx.mshr = mshr
 
     def _act_send_gets(self, ctx):
-        self._issue(MsgKind.GETS, ctx.block)
+        self._issue(MsgKind.GETS, ctx.block, txn=ctx.mshr.txn_id)
 
     def _act_send_getx(self, ctx):
-        self._issue(MsgKind.GETX, ctx.block)
+        self._issue(MsgKind.GETX, ctx.block, txn=ctx.mshr.txn_id)
 
     def _act_send_upgrade(self, ctx):
-        self._issue(MsgKind.UPGRADE, ctx.block, frame=ctx.frame)
+        self._issue(MsgKind.UPGRADE, ctx.block, frame=ctx.frame,
+                    txn=ctx.mshr.txn_id)
 
     def _act_write_hit(self, ctx):
         self._apply_write(ctx.frame, ctx.stamp)
@@ -959,7 +983,12 @@ class CacheController:
 
     def _act_lease_expire_si(self, ctx):
         # The free self-invalidation: no message, no ack — the copy just
-        # stops being readable at this node's program time.
+        # stops being readable at this node's program time.  An MSHR
+        # allocated later in the same dispatch (the renewal miss) sees
+        # ``lease_reload`` and tags its transaction, so causal accounting
+        # can attribute the reload stall to the expired lease rather than
+        # a cold miss.
+        ctx.lease_reload = True
         self.misses.bump("self_invalidations")
         if self.monitor:
             self.monitor.on_invalidate(self.node, ctx.block)
@@ -1012,6 +1041,7 @@ class CacheController:
                 carries_data=True,
                 wts=frame.wts,
                 rts=frame.rts,
+                txn_id=ctx.msg.txn_id,
             )
         )
         self.cache.invalidate(frame)

@@ -14,9 +14,9 @@ from repro.stats.report import format_table
 class TraceEvent:
     """One recorded message."""
 
-    __slots__ = ("time", "kind", "src", "dst", "block", "flags", "local")
+    __slots__ = ("time", "kind", "src", "dst", "block", "flags", "local", "txn_id")
 
-    def __init__(self, time, kind, src, dst, block, flags, local):
+    def __init__(self, time, kind, src, dst, block, flags, local, txn_id=None):
         self.time = time
         self.kind = kind
         self.src = src
@@ -24,10 +24,12 @@ class TraceEvent:
         self.block = block
         self.flags = flags
         self.local = local
+        self.txn_id = txn_id
 
     def row(self):
         path = f"{self.src}->{self.dst}" + (" (local)" if self.local else "")
-        return [self.time, self.kind, path, self.block, self.flags]
+        txn = "" if self.txn_id is None else self.txn_id
+        return [self.time, self.kind, path, self.block, txn, self.flags]
 
     def __repr__(self):
         return f"TraceEvent({self.time}, {self.kind}, {self.src}->{self.dst}, blk={self.block})"
@@ -47,6 +49,13 @@ class MessageTracer:
     blocks:
         Optional iterable of block numbers; only messages for these blocks
         are recorded.
+    txns:
+        Optional iterable of causal transaction ids (``Message.txn_id``);
+        only messages carrying one of these ids are recorded.  Ids are only
+        assigned when an :class:`~repro.obs.instrument.Instrument` is
+        attached to the machine, and are deterministic across instrumented
+        re-runs of the same configuration — so an id reported by
+        ``dsi-sim why`` can be replayed with ``dsi-sim trace --txn``.
     max_events:
         Retain at most this many events; further matching messages are
         *counted* (``dropped``) but not stored, and the drop count is
@@ -57,8 +66,9 @@ class MessageTracer:
         keyword); ignored when ``max_events`` is given explicitly.
     """
 
-    def __init__(self, blocks=None, limit=0, max_events=None):
+    def __init__(self, blocks=None, limit=0, max_events=None, txns=None):
         self.blocks = set(blocks) if blocks is not None else None
+        self.txns = set(txns) if txns is not None else None
         if max_events is None:
             max_events = limit if limit else DEFAULT_MAX_EVENTS
         self.max_events = max_events
@@ -75,6 +85,8 @@ class MessageTracer:
 
     def record(self, time, msg, is_local):
         if self.blocks is not None and msg.block not in self.blocks:
+            return
+        if self.txns is not None and msg.txn_id not in self.txns:
             return
         if self.full:
             self.dropped += 1
@@ -99,6 +111,7 @@ class MessageTracer:
                 msg.block,
                 ",".join(flags),
                 is_local,
+                txn_id=msg.txn_id,
             )
         )
 
@@ -113,7 +126,7 @@ class MessageTracer:
 
     def format(self, limit=None):
         rows = [event.row() for event in self.events[: limit or len(self.events)]]
-        text = format_table(["time", "message", "path", "block", "flags"], rows)
+        text = format_table(["time", "message", "path", "block", "txn", "flags"], rows)
         if self.dropped:
             text += (
                 f"\n... {self.dropped} further event(s) dropped "

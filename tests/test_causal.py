@@ -1,0 +1,233 @@
+"""Causal tracing and the ``why`` cycle-accounting observatory.
+
+Two layers of proof:
+
+* **Conservation matrix** — every paper workload under base SC, DSI-V
+  and Tardis (plus the WC stack) runs under a
+  :class:`~repro.obs.CausalInstrument`; its quiesce hook re-tiles every
+  blocking miss window from the transaction's causal marks and raises
+  :class:`~repro.errors.AuditError` unless, per node, the ten categories
+  sum to the execution time exactly.
+* **Paper-shaped claims** — DSI-V spends strictly fewer INV-attributed
+  cycles than base SC (the mechanism behind Figure 3's bar shrink), and
+  Tardis attributes exactly zero cycles to invalidation (timestamp
+  self-invalidation sends none by construction).
+"""
+
+import pytest
+
+from conftest import tiny_config
+from repro.config import Consistency, IdentifyScheme
+from repro.obs import (
+    CAUSAL_CATEGORIES,
+    CausalInstrument,
+    TxnTrace,
+    WHY_SCHEMA_VERSION,
+    diff_why,
+    format_txn,
+    format_why,
+)
+from repro.obs.causal import INV_CATEGORIES, MISS_CATEGORIES
+from repro.system import Machine
+from repro.workloads import barnes, em3d, ocean, sparse, tomcatv
+
+PAPER_PROGRAMS = {
+    "barnes": lambda n: barnes(n_procs=n, bodies_per_proc=4, cells=16, iterations=1),
+    "em3d": lambda n: em3d(n_procs=n, nodes_per_proc=16, iterations=1, private_words=64),
+    "ocean": lambda n: ocean(n_procs=n, cols=16, days=1, sweeps_per_day=2),
+    "sparse": lambda n: sparse(n_procs=n, x_words=128, iterations=1, a_words_per_proc=64),
+    "tomcatv": lambda n: tomcatv(n_procs=n, rows_per_proc=2, cols=32, iterations=1),
+}
+
+#: The acceptance matrix: base write-invalidate, DSI with versions, and
+#: leased timestamps, plus the WC stack (write buffers exercise the
+#: write-buffer-stall category and the ACK_DONE leg of the chains).
+VARIANTS = {
+    "base": {},
+    "dsi_v": {"identify": IdentifyScheme.VERSION},
+    "tardis": {"tardis": True, "lease": 8},
+    "wc": {"consistency": Consistency.WC},
+    "wc_tardis": {"consistency": Consistency.WC, "tardis": True, "lease": 8},
+}
+
+
+def causal_run(workload, variant, n_procs=4, **instrument_kwargs):
+    program = PAPER_PROGRAMS[workload](n_procs)
+    config = tiny_config(n_procs=n_procs, **VARIANTS[variant])
+    instrument = CausalInstrument(**instrument_kwargs)
+    result = Machine(config, program, instrument=instrument).run()
+    return instrument, result
+
+
+def trained_em3d_run(variant, **instrument_kwargs):
+    """em3d big enough for version prediction to train (the tiny matrix
+    programs run one iteration — no history, so DSI has nothing to
+    speculate on)."""
+    program = em3d(n_procs=4, nodes_per_proc=96, iterations=3, private_words=64)
+    config = tiny_config(n_procs=4, **VARIANTS[variant])
+    instrument = CausalInstrument(**instrument_kwargs)
+    result = Machine(config, program, instrument=instrument).run()
+    return instrument, result
+
+
+def inv_cycles(instrument):
+    return sum(instrument.accounting["categories"][c] for c in INV_CATEGORIES)
+
+
+@pytest.mark.parametrize("workload", sorted(PAPER_PROGRAMS))
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_conservation(workload, variant):
+    """Every cycle of every node lands in exactly one causal category.
+
+    The hard check lives in ``on_quiesce`` (AuditError on any mismatch);
+    reaching a populated ``accounting`` *is* the proof, the asserts
+    below just pin the shape down."""
+    instrument, result = causal_run(workload, variant)
+    accounting = instrument.accounting
+    assert accounting is not None
+    assert accounting["exec_time"] == result.exec_time
+    for entry in accounting["per_node"]:
+        assert sum(entry["categories"].values()) == entry["exec_time"]
+    assert sum(accounting["categories"].values()) == accounting["node_cycles"]
+
+
+@pytest.mark.parametrize("workload", sorted(PAPER_PROGRAMS))
+def test_tardis_attributes_zero_inv_cycles(workload):
+    """Tardis never invalidates, so the accounting must attribute zero
+    cycles to inv-roundtrip/ack-stall on every workload — stronger than
+    counting messages: no *stall* is blamed on invalidation either."""
+    instrument, _ = causal_run(workload, "tardis")
+    for label in INV_CATEGORIES:
+        assert instrument.accounting["categories"][label] == 0
+    report = instrument.why_report()
+    assert report["inv_attributed_cycles"] == 0
+    assert report["categories"]["lease-expiry-reload"] >= 0
+
+
+def test_dsi_v_spends_fewer_inv_cycles_than_base():
+    """The paper's core effect, stated causally: on a paper workload
+    DSI-V attributes strictly fewer cycles to invalidation
+    (inv-roundtrip + ack-stall) than the base protocol."""
+    base, _ = trained_em3d_run("base")
+    dsi, _ = trained_em3d_run("dsi_v")
+    assert inv_cycles(dsi) < inv_cycles(base), (
+        "DSI-V did not reduce INV-attributed cycles "
+        f"({inv_cycles(dsi)} vs base {inv_cycles(base)})"
+    )
+
+
+class TestWhyReport:
+    def test_schema(self):
+        instrument, result = causal_run("em3d", "base")
+        report = instrument.why_report(workload="em3d", protocol="SC", top=5)
+        assert report["schema_version"] == WHY_SCHEMA_VERSION
+        assert report["workload"] == "em3d"
+        assert report["protocol"] == "SC"
+        assert set(report["categories"]) == set(CAUSAL_CATEGORIES)
+        assert report["conservation"]["ok"]
+        assert report["conservation"]["nodes"] == 4
+        assert report["exec_time"] == result.exec_time
+        txns = report["transactions"]
+        assert txns["total"] > 0
+        assert txns["unfinished"] == 0  # everything drains before quiesce
+        assert len(report["top"]) <= 5
+
+    def test_top_entries_carry_replayable_chains(self):
+        instrument, _ = causal_run("em3d", "base")
+        report = instrument.why_report(top=3)
+        for entry in report["top"]:
+            assert entry["cycles"] == sum(
+                seg["cycles"] for seg in entry["segments"]
+            )
+            events = [hop["event"] for hop in entry["chain"]]
+            assert events[0].startswith("MSHR open")
+            assert events[-1] == "transaction complete"
+            times = [hop["at"] for hop in entry["chain"]]
+            assert times == sorted(times)
+
+    def test_report_before_quiesce_raises(self):
+        from repro.errors import AuditError
+
+        with pytest.raises(AuditError):
+            CausalInstrument().why_report()
+
+    def test_formatters_render(self):
+        instrument, _ = causal_run("em3d", "dsi_v")
+        report = instrument.why_report(top=2)
+        text = format_why(report)
+        assert "conservation OK" in text
+        for label in CAUSAL_CATEGORIES:
+            assert label in text
+        top = instrument.top_transactions(1)
+        assert top and "segments:" in format_txn(top[0])
+
+
+class TestDiff:
+    def test_diff_why_is_mechanistic(self):
+        base, _ = trained_em3d_run("base")
+        dsi, _ = trained_em3d_run("dsi_v")
+        diff = diff_why(base.why_report(protocol="SC"), dsi.why_report(protocol="V"))
+        assert diff["base"] == "SC" and diff["other"] == "V"
+        for label in CAUSAL_CATEGORIES:
+            entry = diff["categories"][label]
+            assert entry["delta"] == entry["other"] - entry["base"]
+        # em3d trained across iterations is where versions pay off.
+        assert diff["inv_attributed_cycles"]["delta"] < 0
+        assert "diff vs SC" in format_why(dsi.why_report(protocol="V"), diff=diff)
+
+
+class TestTxnMechanics:
+    def test_txn_ids_deterministic_across_reruns(self):
+        """Same config + workload => same txn ids, which is what makes
+        'dsi-sim trace --txn <id from why>' replay the right one."""
+        first, _ = causal_run("em3d", "base")
+        second, _ = causal_run("em3d", "base")
+        pick = first.top_transactions(3)
+        for txn in pick:
+            again = second.txn(txn.txn_id)
+            assert again is not None
+            assert (again.node, again.block, again.open, again.done) == (
+                txn.node, txn.block, txn.open, txn.done
+            )
+
+    def test_keep_txns_survive_retention_cap(self):
+        probe, _ = causal_run("em3d", "base")
+        target = probe.top_transactions(1)[0].txn_id
+        capped, _ = causal_run(
+            "em3d", "base", max_txns=0, keep_txns=(target,)
+        )
+        assert capped.txns_dropped > 0
+        kept = capped.txn(target)
+        assert kept is not None and kept.txn_id == target
+
+    def test_tile_telescopes_exactly(self):
+        txn = TxnTrace(0, 1, 42, "read miss", 100, True, False, False)
+        txn.req_send = 103
+        txn.req_recv = 203
+        txn.dir_begin = 210
+        txn.inval_wait = 30
+        txn.grant_send = 240
+        txn.grant_recv = 340
+        txn.done = 343
+        segments = txn.tile()
+        assert sum(cycles for _, cycles in segments) == 243
+        assert segments == [
+            ("miss-data", 3),
+            ("network-transit", 100),
+            ("directory-occupancy", 7),
+            ("inv-roundtrip", 30),
+            ("network-transit", 100),
+            ("miss-data", 3),
+        ]
+        assert all(label in MISS_CATEGORIES for label, _ in segments)
+
+    def test_tile_with_missing_marks_still_covers_window(self):
+        txn = TxnTrace(1, 0, 7, "write miss", 50, True, False, False)
+        txn.done = 90  # no other marks recorded at all
+        assert txn.tile() == [("miss-data", 40)]
+
+    def test_renewal_window_is_all_lease_reload(self):
+        txn = TxnTrace(2, 0, 7, "read miss", 10, True, False, True)
+        txn.req_send = 12
+        txn.done = 110
+        assert txn.tile() == [("lease-expiry-reload", 100)]

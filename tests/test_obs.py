@@ -103,6 +103,56 @@ class TestAnalyticsEquivalence:
         assert instrument.classifier.blocks  # classification still ran
 
 
+class TestCausalEquivalence:
+    """The causal tracer keeps the equivalence contract too: txn ids are
+    allocated inside the instrument (never on the bare path), every
+    override is super()-first and read-only, so a run with a
+    CausalInstrument stays bit-identical to a bare one — including under
+    the direct-execution fast path, where retired private hits fire no
+    probes and surface as cache-hit cycles in bulk."""
+
+    def _records(self, config):
+        from repro.obs import CausalInstrument
+
+        program = sharing_program()
+        bare = RunRecord.from_result(Machine(config, program).run())
+        instrument = CausalInstrument()
+        result = Machine(config, sharing_program(), instrument=instrument).run()
+        return bare, RunRecord.from_result(result), instrument
+
+    def test_sc_equivalent(self):
+        bare, observed, instrument = self._records(tiny_config())
+        assert bare.to_dict() == observed.to_dict()
+        assert instrument.accounting is not None  # conservation enforced
+
+    def test_dsi_fifo_equivalent(self):
+        bare, observed, instrument = self._records(dsi_fifo_config())
+        assert bare.to_dict() == observed.to_dict()
+
+    def test_fastpath_equivalent(self):
+        # check_invariants=False is what arms the direct-execution fast
+        # path (tiny_config turns it on, which disables the batcher).
+        config = tiny_config(check_invariants=False)
+        assert config.direct_execution and not config.check_invariants
+        bare, observed, instrument = self._records(config)
+        assert bare.to_dict() == observed.to_dict()
+        assert instrument.accounting is not None
+
+    def test_fastpath_and_interpreter_report_same_totals(self):
+        from repro.obs import CausalInstrument
+
+        totals = []
+        for check in (True, False):
+            instrument = CausalInstrument()
+            Machine(
+                tiny_config(check_invariants=check),
+                sharing_program(),
+                instrument=instrument,
+            ).run()
+            totals.append(instrument.accounting["categories"])
+        assert totals[0] == totals[1]
+
+
 class TestProbes:
     def test_message_counts_match_network_counters(self):
         instrument, result = instrumented_run()
