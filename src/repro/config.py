@@ -49,6 +49,31 @@ class SIMechanism(enum.Enum):
     FIFO = "fifo"  # 64-entry FIFO; invalidate on overflow, flush at sync
 
 
+class ExecutionMode(enum.Enum):
+    """Which execution engine retires coherence transactions.
+
+    REFERENCE is the bit-identical oracle: every message hop, resource
+    occupancy and quantum boundary fires as a discrete event through the
+    full Message/table machinery, exactly as the interpreter always has.
+    RELAXED runs the same event *structure* (hop for hop — elision of
+    any intermediate event was tried and is provably order-unsafe, see
+    ``repro.network.network``) on two cheaper substrates: a per-cycle
+    bucketed event queue, and straight-line Message-free *lanes* that
+    retire uncontended transactions (miss -> home -> grant) without
+    building Message objects, contexts or table rows.  A transaction
+    that meets a contention hazard (busy directory entry, exclusive
+    owner, sharer fan-out, raced MSHR) *bails*: the lane materializes
+    the Message it never built and hands it to the reference handler at
+    the exact point the reference engine would have processed it.
+    Relaxed runs are proven *observationally* equal to reference runs
+    (every measured RunRecord field except ``events_fired``) by
+    ``repro.harness.equivalence --observational``.
+    """
+
+    REFERENCE = "reference"
+    RELAXED = "relaxed"
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Full description of one simulated machine + protocol."""
@@ -120,11 +145,25 @@ class SystemConfig:
     # runtime escape hatch behind ``dsi-sim run --no-fastpath``.
     compiled_dispatch: bool = True  # table lowered to integer-indexed dispatch
     direct_execution: bool = True  # batch private/valid hits outside the engine
+    # Transaction-retirement engine (see ExecutionMode).  REFERENCE stays
+    # the default: it is the oracle every other path is proven against.
+    # The DSI_MODE environment variable ("relaxed" / "reference")
+    # overrides the field process-wide — the runtime escape hatch behind
+    # ``dsi-sim run --mode``.
+    execution_mode: ExecutionMode = ExecutionMode.REFERENCE
 
     def __post_init__(self):
         if os.environ.get("DSI_NO_FASTPATH"):
             object.__setattr__(self, "compiled_dispatch", False)
             object.__setattr__(self, "direct_execution", False)
+        env_mode = os.environ.get("DSI_MODE")
+        if env_mode:
+            try:
+                object.__setattr__(self, "execution_mode", ExecutionMode(env_mode))
+            except ValueError:
+                raise ConfigError(
+                    f"DSI_MODE must be 'reference' or 'relaxed', not {env_mode!r}"
+                ) from None
         if self.n_processors < 1:
             raise ConfigError("n_processors must be >= 1")
         if self.block_size & (self.block_size - 1):

@@ -27,7 +27,7 @@ class Resource:
 
     __slots__ = (
         "sim", "name", "busy", "_queue", "busy_cycles", "jobs", "wait_cycles",
-        "_free_at", "depth_probe",
+        "_free_at", "depth_probe", "_schedule",
     )
 
     def __init__(self, sim, name="", depth_probe=None):
@@ -40,12 +40,12 @@ class Resource:
         self.wait_cycles = 0
         self._free_at = 0
         self.depth_probe = depth_probe
+        self._schedule = sim.schedule  # prebound: hottest call in submit
 
     def submit(self, duration, callback, *args):
         """Run a job of ``duration`` cycles; fire ``callback(*args)`` on completion."""
-        sim = self.sim
         if self.busy:
-            self._queue.append((sim.now, duration, callback, args))
+            self._queue.append((self.sim.now, duration, callback, args))
             if self.depth_probe is not None:
                 self.depth_probe(len(self._queue))
         else:
@@ -53,8 +53,8 @@ class Resource:
             self.busy = True
             self.jobs += 1
             self.busy_cycles += duration
-            self._free_at = sim.now + duration
-            sim.schedule(duration, self._finish, callback, args)
+            self._free_at = self.sim.now + duration
+            self._schedule(duration, self._finish, callback, args)
 
     def _start(self, submitted_at, duration, callback, args):
         self.busy = True
@@ -62,7 +62,7 @@ class Resource:
         self.busy_cycles += duration
         self.wait_cycles += self.sim.now - submitted_at
         self._free_at = self.sim.now + duration
-        self.sim.schedule(duration, self._finish, callback, args)
+        self._schedule(duration, self._finish, callback, args)
 
     def _finish(self, callback, args):
         if self._queue:

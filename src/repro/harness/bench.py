@@ -22,20 +22,26 @@ Two thresholds with different temperaments:
   Use it to catch unintended model changes, not host noise.
 """
 
+import glob
 import json
 import os
 import platform
 import sys
 import time
+from dataclasses import replace
 
+from repro.config import ExecutionMode
 from repro.errors import ConfigError
 from repro.harness.configs import PROTOCOLS, WORKLOADS, paper_config, workload_args
 from repro.harness.runpool import RunPool
 from repro.harness.runspec import RunSpec
 from repro.stats.report import format_table
 
-#: Version of the BENCH_*.json payload layout.
-BENCH_SCHEMA_VERSION = 1
+#: Version of the BENCH_*.json payload layout.  v2 added ``mode`` — the
+#: execution engine (reference / relaxed) the suite ran under; snapshots
+#: of different modes measure different engines and a comparison between
+#: them is a *speedup report*, not a regression gate.
+BENCH_SCHEMA_VERSION = 2
 
 #: Pinned suites: (workload, protocol label) pairs.  Pinning matters —
 #: a comparison is only meaningful between snapshots of the same suite,
@@ -64,15 +70,22 @@ SUITES = {
 SUITE_PROCS = {"smoke": 4, "quick": 8, "full": 32}
 
 
-def suite_specs(suite, procs=None):
+def suite_specs(suite, procs=None, mode=None):
     """The pinned run list for a suite as ``(workload, protocol, spec)``
-    triples."""
+    triples.  ``mode`` (an :class:`~repro.config.ExecutionMode` or its
+    string value) pins the execution engine; ``None`` keeps the config's
+    own resolution (the ``DSI_MODE`` environment variable, else
+    reference)."""
     if suite not in SUITES:
         raise ConfigError(f"unknown bench suite {suite!r}; have {sorted(SUITES)}")
     n_procs = procs if procs else SUITE_PROCS[suite]
+    if mode is not None:
+        mode = ExecutionMode(mode)
     triples = []
     for workload, protocol in SUITES[suite]:
         config = paper_config(protocol, n_procs=n_procs)
+        if mode is not None:
+            config = replace(config, execution_mode=mode)
         if workload in WORKLOADS:
             args = workload_args(workload, quick=True, n_procs=n_procs)
         else:
@@ -87,7 +100,7 @@ def default_path(when=None):
     return f"BENCH_{stamp}.json"
 
 
-def run_bench(suite="quick", procs=None, jobs=1, repeat=1, verbose=False):
+def run_bench(suite="quick", procs=None, jobs=1, repeat=1, verbose=False, mode=None):
     """Run one suite and return the snapshot payload.
 
     ``jobs`` defaults to 1 — serial execution is what makes wall times
@@ -96,11 +109,21 @@ def run_bench(suite="quick", procs=None, jobs=1, repeat=1, verbose=False):
     wall time, the standard defense against warm-up and scheduler noise;
     simulated quantities are deterministic so repeats agree on them.
     The result cache is bypassed: a benchmark that can be served from
-    cache measures nothing.
+    cache measures nothing.  ``mode`` pins the execution engine for the
+    whole suite; the snapshot records the mode it actually ran under.
     """
     if repeat < 1:
         raise ConfigError("repeat must be >= 1")
-    triples = suite_specs(suite, procs=procs)
+    triples = suite_specs(suite, procs=procs, mode=mode)
+    resolved_mode = triples[0][2].config.execution_mode.value
+    if mode is not None and resolved_mode != ExecutionMode(mode).value:
+        # ``SystemConfig.__post_init__`` re-applies DSI_MODE on every
+        # construction, so the environment silently outvotes an explicit
+        # request — refuse rather than snapshot a mislabeled suite.
+        raise ConfigError(
+            f"requested mode {ExecutionMode(mode).value!r} but DSI_MODE="
+            f"{os.environ.get('DSI_MODE')!r} forces {resolved_mode!r}; unset it first"
+        )
     n_procs = procs if procs else SUITE_PROCS[suite]
     best = {}
     started = time.time()
@@ -139,6 +162,7 @@ def run_bench(suite="quick", procs=None, jobs=1, repeat=1, verbose=False):
         "schema_version": BENCH_SCHEMA_VERSION,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(started)),
         "suite": suite,
+        "mode": resolved_mode,
         "procs": n_procs,
         "jobs": jobs,
         "repeat": repeat,
@@ -176,7 +200,7 @@ def validate_payload(payload):
         raise ConfigError(
             f"bench payload schema_version {version!r} != {BENCH_SCHEMA_VERSION}"
         )
-    for field in ("suite", "created", "runs", "totals", "host"):
+    for field in ("suite", "mode", "created", "runs", "totals", "host"):
         if field not in payload:
             raise ConfigError(f"bench payload missing {field!r}")
     if not isinstance(payload["runs"], list) or not payload["runs"]:
@@ -278,6 +302,56 @@ def _kcyc(value):
 
 def _pct(value):
     return f"{value:+.1%}" if value is not None else "-"
+
+
+def collect_history(directory="."):
+    """Every readable ``BENCH_*.json`` under ``directory``, oldest first.
+
+    Returns ``(snapshots, skipped)`` where ``snapshots`` is a list of
+    ``(path, payload)`` pairs sorted by the payload's ``created`` stamp
+    and ``skipped`` lists ``(path, reason)`` for files that failed
+    validation (old schema versions land here rather than aborting the
+    listing — a history directory legitimately spans schema bumps).
+    """
+    snapshots, skipped = [], []
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            snapshots.append((path, load_payload(path)))
+        except ConfigError as exc:
+            skipped.append((path, str(exc)))
+    snapshots.sort(key=lambda pair: pair[1]["created"])
+    return snapshots, skipped
+
+
+def format_history(snapshots):
+    """One line per snapshot: the drift of total simulation speed over
+    time (the ``dsi-sim bench --history`` table)."""
+    rows = []
+    previous_speed = {}
+    for path, payload in snapshots:
+        totals = payload["totals"]
+        speed = totals["sim_cycles_per_s"]
+        suite_mode = (payload["suite"], payload["mode"])
+        delta = _ratio(speed, previous_speed.get(suite_mode))
+        if speed:
+            previous_speed[suite_mode] = speed
+        rows.append(
+            [
+                payload["created"],
+                payload["suite"],
+                payload["mode"],
+                len(payload["runs"]),
+                f"{totals['wall_time_s']:.1f}",
+                _kcyc(speed),
+                _pct(delta),
+                os.path.basename(path),
+            ]
+        )
+    return format_table(
+        ["created", "suite", "mode", "runs", "wall_s", "cyc/s", "drift", "file"],
+        rows,
+        title="bench history (drift vs previous snapshot of the same suite+mode)",
+    )
 
 
 def format_compare(rows, threshold=0.15):

@@ -189,6 +189,16 @@ def build_parser():
         "available process-wide via the DSI_NO_FASTPATH environment variable)",
     )
     parser.add_argument(
+        "--mode",
+        choices=("reference", "relaxed"),
+        default=None,
+        help="run/bench: execution engine — 'reference' is the event-exact "
+        "oracle, 'relaxed' retires uncontended transactions on the bucketed "
+        "queue + Message-free lanes (observationally equal: every reported "
+        "quantity except the internal event count matches the reference; "
+        "also available process-wide via the DSI_MODE environment variable)",
+    )
+    parser.add_argument(
         "--latency", type=int, default=100, help="run: network latency in cycles"
     )
     parser.add_argument(
@@ -268,6 +278,16 @@ def build_parser():
         nargs=2,
         metavar=("OLD", "NEW"),
         help="bench: compare two BENCH_*.json snapshots instead of running",
+    )
+    parser.add_argument(
+        "--history",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="bench: list every BENCH_*.json snapshot under DIR (default "
+        "'.') oldest-first with speed drift per suite+mode, instead of "
+        "running",
     )
     parser.add_argument(
         "--threshold",
@@ -609,6 +629,10 @@ def _protocol_overrides(args):
     if getattr(args, "no_fastpath", False):
         overrides["compiled_dispatch"] = False
         overrides["direct_execution"] = False
+    if getattr(args, "mode", None):
+        from repro.config import ExecutionMode
+
+        overrides["execution_mode"] = ExecutionMode(args.mode)
     return overrides
 
 
@@ -999,6 +1023,27 @@ def _bench(args):
     from repro.harness import bench
 
     try:
+        if args.history:
+            snapshots, skipped = bench.collect_history(args.history)
+            if not snapshots and not skipped:
+                print(f"bench: no BENCH_*.json under {args.history!r}", file=sys.stderr)
+                return 2
+            if args.as_json:
+                print(json.dumps(
+                    {
+                        "snapshots": [payload for _path, payload in snapshots],
+                        "skipped": [
+                            {"path": path, "reason": reason}
+                            for path, reason in skipped
+                        ],
+                    },
+                    indent=2,
+                ))
+            else:
+                print(bench.format_history(snapshots))
+                for path, reason in skipped:
+                    print(f"# skipped {path}: {reason}", file=sys.stderr)
+            return 0
         if args.compare:
             # The NEW side must always be valid — a broken fresh snapshot
             # is an error regardless of baseline state.
@@ -1037,6 +1082,7 @@ def _bench(args):
             jobs=args.jobs or 1,
             repeat=args.repeat,
             verbose=args.verbose,
+            mode=args.mode,
         )
     except ConfigError as exc:
         print(f"bench: {exc}", file=sys.stderr)
@@ -1060,7 +1106,8 @@ def _bench(args):
             ["workload", "proto", "exec_time", "wall_s", "cyc/s", "messages"],
             rows,
             title=f"bench suite '{payload['suite']}' "
-            f"(procs={payload['procs']}, repeat={payload['repeat']})",
+            f"(mode={payload['mode']}, procs={payload['procs']}, "
+            f"repeat={payload['repeat']})",
         ))
         totals = payload["totals"]
         speed = totals["sim_cycles_per_s"]
