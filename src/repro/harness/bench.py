@@ -100,7 +100,8 @@ def default_path(when=None):
     return f"BENCH_{stamp}.json"
 
 
-def run_bench(suite="quick", procs=None, jobs=1, repeat=1, verbose=False, mode=None):
+def run_bench(suite="quick", procs=None, jobs=1, repeat=1, verbose=False, mode=None,
+              telemetry=None):
     """Run one suite and return the snapshot payload.
 
     ``jobs`` defaults to 1 — serial execution is what makes wall times
@@ -111,6 +112,12 @@ def run_bench(suite="quick", procs=None, jobs=1, repeat=1, verbose=False, mode=N
     The result cache is bypassed: a benchmark that can be served from
     cache measures nothing.  ``mode`` pins the execution engine for the
     whole suite; the snapshot records the mode it actually ran under.
+
+    ``telemetry`` (a :class:`~repro.harness.telemetry.TelemetryConfig`)
+    attaches the harness observatory: one pool spans every repeat round,
+    so a ``--log`` file captures the whole benchmark as one stream (one
+    sweep per round) and ``--profile`` sidecars land once per spec; their
+    paths are reported under the snapshot's ``profiles`` key.
     """
     if repeat < 1:
         raise ConfigError("repeat must be >= 1")
@@ -127,17 +134,35 @@ def run_bench(suite="quick", procs=None, jobs=1, repeat=1, verbose=False, mode=N
     n_procs = procs if procs else SUITE_PROCS[suite]
     best = {}
     started = time.time()
-    for _round in range(repeat):
-        pool = RunPool(jobs=jobs, cache_dir=None, use_cache=False, verbose=verbose)
-        records = pool.run_batch([spec for _w, _p, spec in triples])
-        for workload, protocol, spec in triples:
-            record = records[spec]
-            held = best.get(spec)
-            if (
-                held is None
-                or (record.wall_time_s or 0) < (held.wall_time_s or float("inf"))
-            ):
-                best[spec] = record
+    pool = RunPool(
+        jobs=jobs, cache_dir=None, use_cache=False, verbose=verbose,
+        telemetry=telemetry,
+    )
+    try:
+        for _round in range(repeat):
+            records = pool.run_batch([spec for _w, _p, spec in triples])
+            for workload, protocol, spec in triples:
+                record = records[spec]
+                held = best.get(spec)
+                if (
+                    held is None
+                    or (record.wall_time_s or 0) < (held.wall_time_s or float("inf"))
+                ):
+                    best[spec] = record
+    finally:
+        pool.close()
+    profiles = None
+    if pool.telemetry is not None and pool.telemetry.profile:
+        from repro.harness.telemetry import profile_sidecar
+
+        sidecars = [
+            profile_sidecar(pool.telemetry.profile_dir, spec.key())
+            for _w, _p, spec in triples
+        ]
+        profiles = {
+            "dir": pool.telemetry.profile_dir,
+            "sidecars": [path for path in sidecars if os.path.exists(path)],
+        }
     runs = []
     for workload, protocol, spec in triples:
         record = best[spec]
@@ -158,7 +183,7 @@ def run_bench(suite="quick", procs=None, jobs=1, repeat=1, verbose=False, mode=N
         )
     wall = sum(r["wall_time_s"] or 0 for r in runs)
     cycles = sum(r["exec_time"] for r in runs)
-    return {
+    payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(started)),
         "suite": suite,
@@ -178,6 +203,9 @@ def run_bench(suite="quick", procs=None, jobs=1, repeat=1, verbose=False, mode=N
         },
         "runs": runs,
     }
+    if profiles is not None:
+        payload["profiles"] = profiles
+    return payload
 
 
 _RUN_FIELDS = (

@@ -220,7 +220,38 @@ def build_parser():
         "--perfetto",
         metavar="PATH",
         help="run/trace: write a Chrome/Perfetto trace.json of the "
-        "instrumented run (open in ui.perfetto.dev)",
+        "instrumented run (open in ui.perfetto.dev); report: export the "
+        "harness sweep as worker lanes",
+    )
+    # harness observatory options (docs/OBSERVABILITY.md)
+    parser.add_argument(
+        "--log",
+        metavar="FILE",
+        help="write the harness telemetry event stream (sweep/run/"
+        "heartbeat events) as JSONL; also honored process-wide via the "
+        "DSI_LOG environment variable; analyze with 'dsi-sim report FILE'",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="in-place terminal dashboard while a sweep runs: per-worker "
+        "lanes, aggregate sim-cycles/s, cache hit ratio, ETA, stragglers",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=("cprofile",),
+        default=None,
+        help="wrap each worker run in cProfile and write per-run pstats "
+        "sidecars keyed by RunSpec hash (DSI_PROFILE environment variable "
+        "works too); 'report' and 'bench' print the merged hot-function "
+        "table.  Never affects results or the result cache",
+    )
+    parser.add_argument(
+        "--profile-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for --profile pstats sidecars "
+        "(default: <log>.profiles, else ./dsi-profiles)",
     )
     parser.add_argument(
         "--metrics",
@@ -352,6 +383,21 @@ def build_parser():
     return parser
 
 
+def _telemetry_config(args):
+    """The harness-observatory settings from ``--log``/``--live``/
+    ``--profile`` (or ``None``, letting the DSI_LOG/DSI_PROFILE
+    environment resolve downstream)."""
+    from repro.harness.telemetry import TelemetryConfig
+
+    explicit = TelemetryConfig(
+        log_path=getattr(args, "log", None),
+        live=getattr(args, "live", False),
+        profile=getattr(args, "profile", None),
+        profile_dir=getattr(args, "profile_dir", None),
+    )
+    return TelemetryConfig.resolve(explicit if explicit.active else None)
+
+
 def _make_runner(args):
     return ExperimentRunner(
         n_procs=args.procs,
@@ -360,16 +406,31 @@ def _make_runner(args):
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        telemetry=_telemetry_config(args),
     )
 
 
 def main(argv=None):
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-report; that is not
+        # an error.  Detach stdout so interpreter teardown doesn't
+        # traceback on the implicit flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(argv):
     args = build_parser().parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         print("--jobs must be >= 1 (1 = serial, in-process)", file=sys.stderr)
         return 2
     if args.experiment == "bench":
         return _bench(args)  # before --procs defaulting: suites pin their own
+    if args.experiment == "report":
+        return _report(args)  # post-hoc: no simulation, no --procs
     if args.procs is None:
         args.procs = 32
     if args.experiment == "list":
@@ -377,7 +438,7 @@ def main(argv=None):
             print(name)
         for extra in (
             "bars", "run", "trace", "why", "analyze", "bench", "gen",
-            "describe", "check-protocol",
+            "describe", "report", "check-protocol",
         ):
             print(extra)
         return 0
@@ -408,15 +469,22 @@ def main(argv=None):
         return 2
     runner = _make_runner(args)
     started = time.time()
-    # Plan: union every selected experiment's specs into one pool batch,
-    # so a multi-experiment sweep parallelizes across experiments too.
-    plan = []
-    for name in selected:
-        plan.extend(PLANNERS[name](runner))
-    runner.prefetch(plan)
-    # Collect: each experiment reads its finished records into a table.
-    results = [EXPERIMENTS[name](runner) for name in selected]
+    try:
+        # Plan: union every selected experiment's specs into one pool
+        # batch, so a multi-experiment sweep parallelizes across
+        # experiments too.
+        plan = []
+        for name in selected:
+            plan.extend(PLANNERS[name](runner))
+        runner.prefetch(plan)
+        # Collect: each experiment reads its finished records into a table.
+        results = [EXPERIMENTS[name](runner) for name in selected]
+    finally:
+        runner.close()  # flush telemetry sinks even when a run fails
     wall = time.time() - started
+    if args.log:
+        print(f"# wrote telemetry log -> {args.log} "
+              f"(analyze with: dsi-sim report {args.log})", file=sys.stderr)
     summary = (
         f"# {runner.total_sim_runs} simulation runs, {runner.cache_hits} cache hits "
         f"in {wall:.1f}s (procs={args.procs}"
@@ -636,6 +704,102 @@ def _protocol_overrides(args):
     return overrides
 
 
+class _RunObservatory:
+    """Harness telemetry around one directly-built :class:`Machine` (the
+    ``run`` verb bypasses the RunPool, so the sweep bracketing, heartbeat
+    sampling and profiling happen parent-side here)."""
+
+    def __init__(self, telemetry_config, workload, label):
+        import hashlib
+
+        from repro.harness import telemetry
+
+        self.T = telemetry
+        self.cfg = telemetry_config
+        self.workload = workload
+        self.label = label
+        self.key = hashlib.sha256(f"{workload}|{label}".encode("utf-8")).hexdigest()
+        sinks = []
+        if self.cfg.log_path:
+            sinks.append(telemetry.JsonlSink(self.cfg.log_path))
+        if self.cfg.live:
+            sinks.append(telemetry.LiveDashboard(stream=self.cfg.stream))
+        self.hub = telemetry.TelemetryHub(sinks)
+        self.sampler = None
+        self.profiler = None
+
+    def start(self, machine):
+        from repro.harness.runpool import code_fingerprint
+
+        T, hub = self.T, self.hub
+        hub.begin_sweep(T.new_sweep_id())
+        hub.emit(T.make_event(
+            "sweep_begin", specs=1, pending=1, jobs=1,
+            fingerprint=code_fingerprint()[:16],
+        ))
+        common = dict(spec_key=self.key, workload=self.workload, label=self.label)
+        hub.emit(T.make_event("run_queued", **common))
+        hub.emit(T.make_event("run_started", worker=os.getpid(), **common))
+        self.sampler = T.HeartbeatSampler(
+            hub.emit, self.key, interval=self.cfg.heartbeat_interval
+        )
+        self.sampler.attach(machine)
+        if self.cfg.profile == "cprofile":
+            import cProfile
+
+            self.profiler = cProfile.Profile()
+            self.profiler.enable()
+
+    def finish(self, config, record=None, error=None, wall=0.0):
+        T, hub = self.T, self.hub
+        profile_path = None
+        try:
+            if self.profiler is not None:
+                self.profiler.disable()
+                os.makedirs(self.cfg.profile_dir, exist_ok=True)
+                profile_path = self.T.profile_sidecar(self.cfg.profile_dir, self.key)
+                self.profiler.dump_stats(profile_path)
+            if self.sampler is not None:
+                self.sampler.detach()
+            common = dict(spec_key=self.key, workload=self.workload, label=self.label)
+            if error is not None:
+                import traceback
+
+                hub.emit(T.make_event(
+                    "run_failed",
+                    error=f"{type(error).__name__}: {error}",
+                    traceback="".join(traceback.format_exception(
+                        type(error), error, error.__traceback__
+                    )),
+                    **common,
+                ))
+            elif record is not None:
+                hub.emit(T.make_event(
+                    "run_finished",
+                    cache_kb=config.cache_size // 1024,
+                    net=config.network_latency,
+                    exec_time=record.exec_time,
+                    wall_time_s=record.wall_time_s,
+                    sim_cycles_per_s=record.sim_cycles_per_s,
+                    profile=profile_path,
+                    **common,
+                ))
+            hub.emit(T.make_event(
+                "sweep_end",
+                executed=0 if error is not None else 1,
+                cache_hits=0,
+                failed=1 if error is not None else 0,
+                wall_s=wall,
+            ))
+            hub.end_sweep()
+        finally:
+            hub.close()
+        if self.cfg.log_path:
+            print(f"# wrote telemetry log -> {self.cfg.log_path} "
+                  f"(analyze with: dsi-sim report {self.cfg.log_path})",
+                  file=sys.stderr)
+
+
 def _run_one(args):
     """One simulation with the full statistics dump."""
     program = _load_run_program(args)
@@ -649,6 +813,12 @@ def _run_one(args):
         **_protocol_overrides(args),
     )
     instrument = _make_instrument(args)
+    telemetry_config = _telemetry_config(args)
+    observatory = (
+        _RunObservatory(telemetry_config, program.name, config.describe())
+        if telemetry_config is not None
+        else None
+    )
     started = time.time()
     machine = Machine(config, program, instrument=instrument)
     tracer = None
@@ -656,10 +826,19 @@ def _run_one(args):
         from repro.stats.tracer import MessageTracer, attach_tracer
 
         tracer = attach_tracer(machine, MessageTracer(max_events=args.show_trace))
-    result = machine.run()
+    if observatory is not None:
+        observatory.start(machine)
+    try:
+        result = machine.run()
+    except Exception as exc:
+        if observatory is not None:
+            observatory.finish(config, error=exc, wall=time.time() - started)
+        raise
     wall = time.time() - started
     record = RunRecord.from_result(result)
     record.set_timing(wall)
+    if observatory is not None:
+        observatory.finish(config, record=record, wall=wall)
     extra = {
         "workload": program.describe(),
         "protocol": config.describe(),
@@ -1083,6 +1262,7 @@ def _bench(args):
             repeat=args.repeat,
             verbose=args.verbose,
             mode=args.mode,
+            telemetry=_telemetry_config(args),
         )
     except ConfigError as exc:
         print(f"bench: {exc}", file=sys.stderr)
@@ -1117,7 +1297,50 @@ def _bench(args):
             f"{totals['sim_cycles']} simulated cycles"
             + (f", {speed / 1000:.0f}k cycles/s" if speed else "")
         )
+        profiles = payload.get("profiles")
+        if profiles and profiles["sidecars"]:
+            from repro.harness.telemetry import format_profile_table, profile_table
+
+            rows, merged = profile_table(profiles["sidecars"], top=args.top)
+            print()
+            print(format_profile_table(rows, merged))
     print(f"# wrote bench snapshot -> {path}", file=sys.stderr)
+    return 0
+
+
+def _report(args):
+    """Post-hoc sweep analysis of a harness telemetry log (``--log``):
+    worker utilization, queue wait vs execute time, cache-hit breakdown,
+    top-K stragglers, the merged host profile, and an optional Perfetto
+    export of the harness spans as worker lanes."""
+    from repro.errors import ConfigError
+    from repro.harness import telemetry
+
+    if not args.target:
+        print("report: need a telemetry log (dsi-sim report sweep.jsonl; "
+              "produce one with --log)", file=sys.stderr)
+        return 2
+    try:
+        events = telemetry.load_log(args.target)
+    except (telemetry.TelemetryError, ConfigError) as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"report: {args.target} holds no telemetry events", file=sys.stderr)
+        return 2
+    report = telemetry.sweep_report(events)
+    if args.perfetto:
+        telemetry.write_sweep_perfetto(events, args.perfetto)
+        print(f"# wrote Perfetto trace -> {args.perfetto}", file=sys.stderr)
+    if args.as_json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(telemetry.format_report(report, top=args.top))
+    sidecars = [run["profile"] for run in report["runs"] if run.get("profile")]
+    if sidecars:
+        rows, merged = telemetry.profile_table(sidecars, top=args.top)
+        print()
+        print(telemetry.format_profile_table(rows, merged))
     return 0
 
 

@@ -214,6 +214,91 @@ def sweep_observational(variants=None, workloads=WORKLOADS, n_procs=SWEEP_PROCS,
     return failures
 
 
+# ----------------------------------------------------------------------
+# Telemetry transparency: observed runs vs bare runs
+# ----------------------------------------------------------------------
+def sweep_telemetry(jobs=2, out=None):
+    """Prove the harness observatory is invisible to results.
+
+    Two obligations (the PR-2-style proof for ``repro.harness.telemetry``):
+
+    1. *Identity*: every smoke-suite spec run under full telemetry — JSONL
+       log, cProfile sidecars, and an aggressive heartbeat sampler — yields
+       a :class:`~repro.stats.record.RunRecord` equal to the bare run
+       (record equality already excludes the wall-time fields).
+    2. *Reconciliation*: a quick-suite sweep under ``--log`` (cold pass
+       executing everything, warm pass serving everything from cache)
+       produces a schema-valid JSONL whose terminal events reconcile
+       exactly with ``RunPool.manifest()`` — every spec exactly once per
+       pass as cached or finished, zero lost events.
+
+    Returns failure tuples ``(check, subject, diffs, layer)``; empty
+    means the proof holds.
+    """
+    import tempfile
+
+    from repro.harness import telemetry as T
+    from repro.harness.bench import suite_specs
+    from repro.harness.runpool import RunPool
+
+    failures = []
+    off = T.TelemetryConfig()  # inactive: ignores DSI_LOG/DSI_PROFILE too
+    with tempfile.TemporaryDirectory(prefix="dsi-telemetry-") as tmp:
+        # -- 1: record identity under full observation ------------------
+        specs = [spec for _w, _p, spec in suite_specs("smoke")]
+        bare = RunPool(jobs=1, telemetry=off).run_batch(specs)
+        observed_cfg = T.TelemetryConfig(
+            log_path=os.path.join(tmp, "identity.jsonl"),
+            profile="cprofile",
+            profile_dir=os.path.join(tmp, "profiles"),
+            heartbeat_interval=0.01,
+        )
+        pool = RunPool(jobs=1, telemetry=observed_cfg)
+        try:
+            observed = pool.run_batch(specs)
+        finally:
+            pool.close()
+        for spec in specs:
+            if observed[spec] != bare[spec]:
+                diffs = compare_records(observed[spec], bare[spec])
+                failures.append(
+                    ("identity", spec.describe(), diffs, "telemetry-observed run")
+                )
+        if out is not None:
+            mark = "ok" if not failures else "DIFF"
+            print(
+                f"telemetry identity (smoke suite, log+profile+heartbeats): "
+                f"{len(specs)} specs {mark}",
+                file=out,
+            )
+        # -- 2: log/manifest reconciliation over a real sweep ------------
+        quick = [spec for _w, _p, spec in suite_specs("quick")]
+        log_path = os.path.join(tmp, "sweep.jsonl")
+        sweep_cfg = T.TelemetryConfig(log_path=log_path, heartbeat_interval=0.05)
+        pool = RunPool(
+            jobs=jobs, cache_dir=os.path.join(tmp, "cache"), telemetry=sweep_cfg
+        )
+        try:
+            pool.run_batch(quick)  # cold: every spec executes
+            pool.run_batch(quick)  # warm: every spec is a cache hit
+        finally:
+            pool.close()
+        events = T.load_log(log_path)  # validates every line's schema
+        problems = T.reconcile(events, pool.manifest())
+        if problems:
+            failures.append(("reconcile", "quick-suite --log sweep", problems, "harness"))
+        if out is not None:
+            heartbeats = sum(1 for e in events if e["type"] == "heartbeat")
+            print(
+                f"telemetry reconcile (quick suite, jobs={jobs}): "
+                f"{len(events)} events, {pool.executed} executed + "
+                f"{pool.cache_hits} cached, {heartbeats} heartbeats "
+                f"{'ok' if not problems else 'MISMATCH'}",
+                file=out,
+            )
+    return failures
+
+
 def sweep(variants=None, workloads=WORKLOADS, n_procs=SWEEP_PROCS, quick=True, out=None):
     """Prove equivalence over ``variants`` x ``workloads``.
 
@@ -274,7 +359,29 @@ def main(argv=None):
         "oracle (every measured field except events_fired) instead of the "
         "compiled-vs-interpreted bit-identity proof",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="prove the harness observatory invisible: telemetry/profile "
+        "runs yield RunRecords identical to bare runs, and a quick-suite "
+        "--log sweep reconciles exactly with the pool manifest",
+    )
     args = parser.parse_args(argv)
+
+    if args.telemetry:
+        print(
+            "# telemetry transparency sweep: record identity (smoke suite) + "
+            "log/manifest reconciliation (quick suite)"
+        )
+        failures = sweep_telemetry(out=sys.stdout)
+        if failures:
+            print(f"\nFAIL: {len(failures)} telemetry check(s) failed:")
+            for check, subject, diffs, layer in failures:
+                print(f"  {check} / {subject}: {diffs} [{layer}]")
+            return 1
+        print("\nOK: telemetry-observed runs identical to bare runs; "
+              "log reconciles with manifest (zero lost events)")
+        return 0
 
     if args.observational and os.environ.get("DSI_MODE"):
         print(

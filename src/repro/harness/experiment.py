@@ -73,18 +73,27 @@ class ExperimentRunner:
         Directory for the persistent result cache (``None`` = off).
     use_cache:
         ``False`` bypasses the persistent cache.
+    telemetry:
+        A :class:`~repro.harness.telemetry.TelemetryConfig` forwarded to
+        the pool (``--log``/``--live``/``--profile``); ``None`` consults
+        the ``DSI_LOG``/``DSI_PROFILE`` environment.
     """
 
     def __init__(self, n_procs=32, quick=False, verbose=False, jobs=1,
-                 cache_dir=None, use_cache=True):
+                 cache_dir=None, use_cache=True, telemetry=None):
         self.n_procs = n_procs
         self.quick = quick
         self.verbose = verbose
         self.pool = RunPool(
-            jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, verbose=verbose
+            jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, verbose=verbose,
+            telemetry=telemetry,
         )
         self._programs = {}
         self._records = {}
+
+    def close(self):
+        """Flush and close the pool's telemetry sinks."""
+        self.pool.close()
 
     # ------------------------------------------------------------------
     @property

@@ -46,12 +46,28 @@ class RunSpec:
         """Regenerate the workload program (deterministic by seed)."""
         return by_name(self.workload, **self.args_dict())
 
-    def execute(self, program=None):
+    def execute(self, program=None, observer=None):
         """Run the simulation this spec describes; returns a
-        :class:`~repro.stats.record.RunRecord`."""
+        :class:`~repro.stats.record.RunRecord`.
+
+        ``observer`` is the zero-overhead-when-disabled telemetry hook
+        (``observer is not None``, mirroring the probe bus guard): an
+        object with ``attach(machine)``/``detach()`` — e.g. the harness
+        :class:`~repro.harness.telemetry.HeartbeatSampler` — that only
+        *reads* live machine counters.  Unlike an ``instrument`` it does
+        not alter engine selection or results.
+        """
         if program is None:
             program = self.build_program()
-        result = Machine(self.config, program).run()
+        machine = Machine(self.config, program)
+        if observer is not None:
+            observer.attach(machine)
+            try:
+                result = machine.run()
+            finally:
+                observer.detach()
+        else:
+            result = machine.run()
         return RunRecord.from_result(result)
 
     # ------------------------------------------------------------------

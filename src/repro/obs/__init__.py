@@ -41,6 +41,7 @@ from repro.obs.causal import (
 from repro.obs.export import (
     ascii_timeline,
     metrics_dict,
+    spans_to_perfetto,
     to_perfetto,
     write_metrics,
     write_perfetto,
@@ -67,6 +68,7 @@ __all__ = [
     "Histogram",
     "TimeSeries",
     "to_perfetto",
+    "spans_to_perfetto",
     "write_perfetto",
     "metrics_dict",
     "write_metrics",

@@ -143,6 +143,24 @@ class Machine:
         sim.add_deadlock_hook(self.locks.deadlock_diagnostic)
         sim.add_deadlock_hook(self.barrier.deadlock_diagnostic)
 
+    def progress(self):
+        """Live progress counters for an in-flight run.
+
+        Read-only and safe to call from another thread while :meth:`run`
+        executes (plain int reads of monotone counters, no locking): the
+        harness heartbeat sampler (``repro.harness.telemetry``) polls
+        this to stream sim-cycle / event / retired-op counts without
+        perturbing the simulation.  ``ops_retired`` is the per-processor
+        trace index, advanced at quantum boundaries — a retirement proxy,
+        exact once the run quiesces.
+        """
+        return {
+            "sim_cycles": self.sim.now,
+            "events_fired": self.sim.events_fired,
+            "ops_retired": sum(proc.idx for proc in self.processors),
+            "ops_total": sum(len(trace.kinds) for trace in self.program.traces),
+        }
+
     def run(self):
         """Run the program to completion; returns a
         :class:`~repro.stats.report.RunResult`."""

@@ -130,6 +130,24 @@ class TestResultCache:
         reference = code_fingerprint()
         assert len({default, relaxed, reference}) == 3
 
+    def test_fingerprint_ignores_telemetry_env(self, monkeypatch):
+        # Unlike the execution-mode knobs above, observability settings
+        # never change simulation results — they must not bust the cache.
+        from repro.harness import runpool
+
+        monkeypatch.delenv("DSI_NO_FASTPATH", raising=False)
+        monkeypatch.delenv("DSI_MODE", raising=False)
+        monkeypatch.delenv("DSI_LOG", raising=False)
+        monkeypatch.delenv("DSI_PROFILE", raising=False)
+        base = code_fingerprint()
+        monkeypatch.setenv("DSI_LOG", "/tmp/x.jsonl")
+        monkeypatch.setenv("DSI_PROFILE", "cprofile")
+        runpool._FINGERPRINTS.clear()
+        try:
+            assert code_fingerprint() == base
+        finally:
+            runpool._FINGERPRINTS.clear()
+
 
 class TestRunnerIntegration:
     def test_prefetch_then_collect_no_extra_runs(self):
