@@ -107,8 +107,8 @@ def build_parser():
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'all', 'ablations', 'bars', "
-        "'run', 'trace', 'why', 'analyze', 'bench', 'gen', or "
-        "'check-protocol'",
+        "'run', 'trace', 'why', 'analyze', 'bench', 'gen', 'serve', "
+        "'submit', or 'check-protocol'",
     )
     parser.add_argument(
         "target",
@@ -344,6 +344,67 @@ def build_parser():
         help="bench: run the suite N times, keep each run's fastest wall "
         "time (default 1)",
     )
+    # serve / submit options (docs/SERVICE.md)
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve: bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8775,
+        help="serve: TCP port (default 8775; 0 binds an ephemeral port)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=128,
+        metavar="N",
+        help="serve: max queued runs before submissions get 429 "
+        "(default 128)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="serve: per-tenant token-bucket refill, sweeps/second "
+        "(default 0 = unlimited)",
+    )
+    parser.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="serve: per-tenant token-bucket capacity (default 2*rate)",
+    )
+    parser.add_argument(
+        "--server",
+        metavar="URL",
+        default=None,
+        help="submit: server base URL (default http://127.0.0.1:8775, "
+        "or the DSI_SERVER environment variable)",
+    )
+    parser.add_argument(
+        "--name",
+        metavar="SWEEP",
+        help="submit: a registry-named sweep (e.g. bench/smoke, "
+        "paper/figure3) instead of building a spec",
+    )
+    parser.add_argument(
+        "--tenant",
+        metavar="ID",
+        default=None,
+        help="submit: tenant identity for rate limiting and accounting "
+        "(default: the local username)",
+    )
+    parser.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="submit: print the sweep id and return without waiting for "
+        "results",
+    )
     # check-protocol options
     parser.add_argument(
         "--variant",
@@ -431,6 +492,10 @@ def _dispatch(argv):
         return _bench(args)  # before --procs defaulting: suites pin their own
     if args.experiment == "report":
         return _report(args)  # post-hoc: no simulation, no --procs
+    if args.experiment == "serve":
+        return _serve(args)  # before --procs defaulting: registry entries pin their own
+    if args.experiment == "submit":
+        return _submit(args)
     if args.procs is None:
         args.procs = 32
     if args.experiment == "list":
@@ -438,7 +503,7 @@ def _dispatch(argv):
             print(name)
         for extra in (
             "bars", "run", "trace", "why", "analyze", "bench", "gen",
-            "describe", "report", "check-protocol",
+            "describe", "report", "serve", "submit", "check-protocol",
         ):
             print(extra)
         return 0
@@ -1308,6 +1373,146 @@ def _bench(args):
     return 0
 
 
+def _serve(args):
+    """Run the multi-tenant sweep server (``dsi-sim serve``).
+
+    Stands up the broker (persistent workers, bounded queue, per-tenant
+    rate limiting), seeds the named-sweep registry from the bench suites
+    and the paper planners, and serves the /v1 HTTP API until
+    interrupted.  See docs/SERVICE.md."""
+    from repro.service.app import DsiService
+    from repro.service.registry import default_registry
+
+    service = DsiService(
+        host=args.host,
+        port=args.port,
+        registry=default_registry(procs=args.procs, quick=args.quick or args.procs is None),
+        jobs=args.jobs or max(2, (os.cpu_count() or 2) // 2),
+        cache_dir=args.cache_dir,
+        queue_depth=args.queue_depth,
+        rate=args.rate,
+        burst=args.burst,
+        log_path=args.log,
+        quiet=not args.verbose,
+    )
+    limits = (
+        f"rate={args.rate}/s burst={service.broker.limiter.burst:g}"
+        if args.rate > 0 else "rate=unlimited"
+    )
+    print(
+        f"# dsi-sim serve on {service.url} "
+        f"(jobs={service.broker.jobs}, queue_depth={args.queue_depth}, {limits}, "
+        f"cache={'on: ' + args.cache_dir if args.cache_dir else 'off'}, "
+        f"{len(service.registry)} registered sweeps)",
+        file=sys.stderr, flush=True,
+    )
+    if args.log:
+        print(f"# event log -> {args.log} "
+              f"(analyze with: dsi-sim report {args.log})",
+              file=sys.stderr, flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("# shutting down (draining in-flight runs)", file=sys.stderr)
+    finally:
+        service.close()
+    return 0
+
+
+def _submit(args):
+    """Submit a sweep to a running server (``dsi-sim submit``).
+
+    Three spec sources: ``--name`` (registry), a positional JSON file
+    (a ``{"specs": [...]}`` object or a bare spec list), or
+    ``--workload``/``--protocol``/``--procs`` building one spec the way
+    the ``run`` verb would."""
+    import getpass
+
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    server = args.server or os.environ.get("DSI_SERVER") or "http://127.0.0.1:8775"
+    try:
+        tenant = args.tenant or getpass.getuser()
+    except OSError:  # no passwd entry (containers)
+        tenant = args.tenant or "anonymous"
+    client = ServiceClient(server, tenant=tenant)
+    try:
+        if args.name:
+            accepted = client.submit_name(args.name)
+        elif args.target:
+            with open(args.target, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            specs = payload["specs"] if isinstance(payload, dict) else payload
+            accepted = client.submit_specs(specs)
+        elif args.workload:
+            procs = args.procs or 32
+            spec_args = workload_args(args.workload, quick=args.quick, n_procs=procs)
+            config = paper_config(
+                args.protocol, cache=args.cache, latency=args.latency,
+                n_procs=procs, **_protocol_overrides(args),
+            )
+            from repro.harness.runspec import RunSpec
+
+            accepted = client.submit_specs(
+                [RunSpec.create(args.workload, config, **spec_args)]
+            )
+        else:
+            print("submit: need --name, a specs JSON file, or --workload",
+                  file=sys.stderr)
+            return 2
+        sweep_id = accepted["sweep"]
+        if args.no_wait:
+            if args.as_json:
+                print(json.dumps(accepted, indent=2))
+            else:
+                print(f"sweep {sweep_id} accepted "
+                      f"(status: {server}/v1/sweeps/{sweep_id})")
+            return 0
+        status = client.wait(sweep_id, timeout=3600)
+    except ServiceClientError as exc:
+        hint = ""
+        if exc.status == 429 and exc.retry_after:
+            hint = f" (retry after {exc.retry_after:.1f}s)"
+        elif exc.status is None:
+            hint = " (is 'dsi-sim serve' running?)"
+        print(f"submit: {exc}{hint}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"submit: bad specs file: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(status, indent=2))
+        return 1 if status["counts"]["failed"] else 0
+    counts = status["counts"]
+    rows = []
+    for run in status["runs"]:
+        record = run.get("record") or {}
+        rows.append([
+            run["workload"],
+            run["label"],
+            run["status"],
+            record.get("exec_time", "-"),
+            f"{record['wall_time_s']:.2f}" if record.get("wall_time_s") else "-",
+            run["spec_key"][:12],
+        ])
+    print(format_table(
+        ["workload", "label", "status", "exec_time", "wall_s", "key"],
+        rows,
+        title=f"sweep {sweep_id} ({status['state']})",
+    ))
+    print()
+    print(
+        f"# {counts['specs']} specs: {counts['executed']} executed, "
+        f"{counts['cached']} cache-served, {counts['failed']} failed "
+        f"in {status['wall_s']:.1f}s (tenant={tenant})"
+    )
+    for run in status["runs"]:
+        if run["status"] == "failed":
+            print(f"# failed {run['workload']}/{run['label']}: {run.get('error')}",
+                  file=sys.stderr)
+    return 1 if counts["failed"] else 0
+
+
 def _report(args):
     """Post-hoc sweep analysis of a harness telemetry log (``--log``):
     worker utilization, queue wait vs execute time, cache-hit breakdown,
@@ -1321,27 +1526,42 @@ def _report(args):
               "produce one with --log)", file=sys.stderr)
         return 2
     try:
-        events = telemetry.load_log(args.target)
-    except (telemetry.TelemetryError, ConfigError) as exc:
+        events, problems = telemetry.load_log_lenient(args.target)
+    except ConfigError as exc:
         print(f"report: {exc}", file=sys.stderr)
         return 2
     if not events:
-        print(f"report: {args.target} holds no telemetry events", file=sys.stderr)
-        return 2
+        if problems:
+            for problem in problems[:5]:
+                print(f"report: {problem}", file=sys.stderr)
+            print(f"report: {args.target} holds no valid telemetry events "
+                  f"({len(problems)} bad line(s))", file=sys.stderr)
+        else:
+            print(f"report: {args.target} holds no telemetry events "
+                  "(empty log — did the sweep run with --log?)", file=sys.stderr)
+        return 1
+    for problem in problems[:5]:
+        print(f"# warning: {problem}", file=sys.stderr)
+    if len(problems) > 5:
+        print(f"# warning: ... and {len(problems) - 5} more bad lines",
+              file=sys.stderr)
+    if problems:
+        print(f"# warning: analyzing the {len(events)} valid events "
+              f"(log damaged — crashed or still-running sweep?)", file=sys.stderr)
     report = telemetry.sweep_report(events)
     if args.perfetto:
         telemetry.write_sweep_perfetto(events, args.perfetto)
         print(f"# wrote Perfetto trace -> {args.perfetto}", file=sys.stderr)
     if args.as_json:
         print(json.dumps(report, indent=2))
-        return 0
+        return 1 if problems else 0
     print(telemetry.format_report(report, top=args.top))
     sidecars = [run["profile"] for run in report["runs"] if run.get("profile")]
     if sidecars:
         rows, merged = telemetry.profile_table(sidecars, top=args.top)
         print()
         print(telemetry.format_profile_table(rows, merged))
-    return 0
+    return 1 if problems else 0
 
 
 def _describe(args):

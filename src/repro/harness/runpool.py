@@ -152,16 +152,26 @@ class ResultCache:
         self.fingerprint = fingerprint or code_fingerprint()
 
     def path_for(self, spec):
-        return os.path.join(self.root, self.fingerprint[:16], spec.key() + ".json")
+        return self.path_for_key(spec.key())
+
+    def path_for_key(self, key):
+        return os.path.join(self.root, self.fingerprint[:16], key + ".json")
 
     def get(self, spec):
         """The cached record for ``spec``, or None (corrupt files miss)."""
-        path = self.path_for(spec)
+        payload = self.get_by_key(spec.key())
+        return RunRecord.from_dict(payload["record"]) if payload else None
+
+    def get_by_key(self, key):
+        """The raw ``{"spec", "record"}`` payload stored under a spec's
+        content address, or None — the sweep service's ``/v1/runs/<key>``
+        path, where the caller has only the hash."""
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(self.path_for_key(key), "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-            return RunRecord.from_dict(payload["record"])
-        except (OSError, ValueError, KeyError):
+            RunRecord.from_dict(payload["record"])  # corrupt files miss
+            return payload
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
             return None
 
     def put(self, spec, record):

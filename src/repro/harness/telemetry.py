@@ -153,7 +153,22 @@ def validate_event(event):
 def load_log(path):
     """Read one JSONL telemetry log, validating every line; returns the
     event list in file order."""
+    events, problems = load_log_lenient(path)
+    if problems:
+        raise TelemetryError(problems[0])
+    return events
+
+
+def load_log_lenient(path):
+    """Read a JSONL telemetry log, keeping every valid line.
+
+    Returns ``(events, problems)``: schema-valid events in file order,
+    plus one human-readable string per malformed or invalid line.  A log
+    from a crashed or still-running sweep legitimately ends mid-line, so
+    consumers (``dsi-sim report``) analyze the valid prefix and surface
+    the damage instead of refusing the whole file."""
     events = []
+    problems = []
     try:
         with open(path, "r", encoding="utf-8") as handle:
             for lineno, line in enumerate(handle, 1):
@@ -163,14 +178,15 @@ def load_log(path):
                 try:
                     event = json.loads(line)
                 except ValueError as exc:
-                    raise TelemetryError(f"{path}:{lineno}: not JSON: {exc}") from exc
+                    problems.append(f"{path}:{lineno}: not JSON: {exc}")
+                    continue
                 try:
                     events.append(validate_event(event))
                 except TelemetryError as exc:
-                    raise TelemetryError(f"{path}:{lineno}: {exc}") from exc
+                    problems.append(f"{path}:{lineno}: {exc}")
     except OSError as exc:
         raise ConfigError(f"cannot read telemetry log {path}: {exc}") from exc
-    return events
+    return events, problems
 
 
 def profile_sidecar(profile_dir, spec_key):
@@ -256,6 +272,25 @@ class JsonlSink(TelemetrySink):
     def close(self):
         if not self._handle.closed:
             self._handle.close()
+
+
+class BufferSink(TelemetrySink):
+    """Keeps events in memory (the sweep service's status/replay store).
+
+    Bounded: past ``max_events`` the oldest retained events are *not*
+    evicted — new ones are counted in ``dropped`` instead, so a replay is
+    always a prefix of the true stream and the truncation is visible."""
+
+    def __init__(self, max_events=100_000):
+        self.max_events = max_events
+        self.events = []
+        self.dropped = 0
+
+    def handle(self, event):
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
 
 
 class VerboseSink(TelemetrySink):
@@ -528,6 +563,30 @@ class TelemetryHub:
                     sink.handle(event)
                 except Exception as exc:  # a sink must never kill the sweep
                     self.errors.append(exc)
+
+    # -- dynamic sinks (streaming subscribers) -------------------------
+    def add_sink(self, sink, replay=None):
+        """Attach a sink mid-stream; returns the replay list.
+
+        ``replay`` is a callable (e.g. a :class:`BufferSink`'s event
+        list) evaluated under the emission lock, so the snapshot and the
+        attachment are atomic: a subscriber sees every event exactly
+        once — the replayed prefix, then live fan-out."""
+        with self._lock:
+            events = list(replay()) if replay is not None else []
+            self.sinks.append(sink)
+        return events
+
+    def remove_sink(self, sink):
+        """Detach a sink (idempotent); returns True when it was attached.
+        A disconnected streaming subscriber must land here, or the hub
+        would keep fanning out to a dead queue forever."""
+        with self._lock:
+            try:
+                self.sinks.remove(sink)
+            except ValueError:
+                return False
+        return True
 
     # -- worker transport ----------------------------------------------
     def worker_queue(self):

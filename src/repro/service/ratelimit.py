@@ -1,0 +1,78 @@
+"""Per-tenant token-bucket rate limiting for the sweep service.
+
+Each tenant owns one :class:`TokenBucket`: ``burst`` tokens of capacity,
+refilled continuously at ``rate`` tokens per second.  A submission costs
+one token; when the bucket is empty the limiter answers with the exact
+number of seconds until a token exists — the ``Retry-After`` the HTTP
+layer returns with its 429.  Buckets are created lazily per tenant, so
+an idle service holds no state.
+"""
+
+import threading
+import time
+
+
+class TokenBucket:
+    """One tenant's budget: ``burst`` capacity, ``rate`` tokens/second."""
+
+    def __init__(self, rate, burst, clock=time.monotonic):
+        if rate <= 0:
+            raise ValueError("rate must be > 0 tokens/second")
+        if burst < 1:
+            raise ValueError("burst must be >= 1 token")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self.tokens = self.burst
+        self._updated = clock()
+
+    def acquire(self, cost=1.0):
+        """Take ``cost`` tokens; returns 0.0 on success, else the seconds
+        until the bucket will hold that many (the Retry-After)."""
+        now = self.clock()
+        self.tokens = min(self.burst, self.tokens + (now - self._updated) * self.rate)
+        self._updated = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return 0.0
+        return (cost - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-tenant buckets sharing one (rate, burst) policy.
+
+    ``rate <= 0`` disables limiting entirely (``acquire`` always grants),
+    so a broker can hold a limiter unconditionally.
+    """
+
+    def __init__(self, rate=0.0, burst=None, clock=time.monotonic):
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(self.rate * 2, 1.0)
+        self.clock = clock
+        self._buckets = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self):
+        return self.rate > 0
+
+    def acquire(self, tenant, cost=1.0):
+        """0.0 when ``tenant`` may proceed, else its Retry-After seconds."""
+        if not self.enabled:
+            return 0.0
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.rate, self.burst, clock=self.clock
+                )
+            return bucket.acquire(cost)
+
+    def describe(self):
+        """Stats payload: the policy plus the tenants currently tracked."""
+        return {
+            "enabled": self.enabled,
+            "rate_per_s": self.rate if self.enabled else None,
+            "burst": self.burst if self.enabled else None,
+            "tenants_tracked": len(self._buckets),
+        }

@@ -1,0 +1,191 @@
+"""Hierarchical named-sweep registry.
+
+Names are ``/``-separated paths (``bench/smoke``, ``paper/figure3``,
+``ablation:tardis_vs_dsi`` normalizes to ``ablation/tardis_vs_dsi``),
+registered either eagerly (a spec list, e.g. a tenant POSTing its own
+sweep) or lazily (a loader callable, materialized and memoized on first
+lookup — planning a paper figure builds hundreds of specs, which a
+``GET /v1/registry`` listing should not pay for).
+
+:func:`default_registry` seeds the hierarchy every server starts with:
+the pinned bench suites (``bench/*``), the paper figure/table plans
+(``paper/*``) and the ablations (``ablation/*``).
+"""
+
+import re
+import threading
+
+from repro.errors import ConfigError
+from repro.harness.runspec import RunSpec
+
+_SEGMENT = re.compile(r"^[A-Za-z0-9_.-]+$")
+
+
+def normalize_name(name):
+    """Canonical registry path, or raise :class:`ConfigError`.
+
+    ``:`` separators are accepted as ``/`` (the CLI's ``ablation:fifo``
+    spelling), segments must be non-empty filename-ish tokens."""
+    if not isinstance(name, str) or not name:
+        raise ConfigError(f"registry name must be a non-empty string, not {name!r}")
+    segments = name.replace(":", "/").split("/")
+    for segment in segments:
+        if not _SEGMENT.match(segment):
+            raise ConfigError(
+                f"bad registry name segment {segment!r} in {name!r} "
+                "(letters, digits, '_', '.', '-' only)"
+            )
+    return "/".join(segments)
+
+
+class _Entry:
+    __slots__ = ("name", "description", "specs", "loader", "source")
+
+    def __init__(self, name, description, specs=None, loader=None, source="user"):
+        self.name = name
+        self.description = description
+        self.specs = specs
+        self.loader = loader
+        self.source = source
+
+
+class SweepRegistry:
+    """Thread-safe register/lookup/list over a flat dict of path names."""
+
+    def __init__(self):
+        self._entries = {}
+        self._lock = threading.Lock()
+
+    def register(self, name, specs=None, loader=None, description="", source="user",
+                 overwrite=False):
+        """Register ``name`` -> a spec list or a lazy loader (exactly one).
+
+        Returns the canonical name.  Re-registering an existing name
+        requires ``overwrite`` (the HTTP layer maps the refusal to 409).
+        """
+        name = normalize_name(name)
+        if (specs is None) == (loader is None):
+            raise ConfigError("register needs exactly one of specs= or loader=")
+        if specs is not None:
+            specs = tuple(specs)
+            for spec in specs:
+                if not isinstance(spec, RunSpec):
+                    raise ConfigError(f"registry specs must be RunSpec values, not {type(spec).__name__}")
+            if not specs:
+                raise ConfigError("a named sweep needs at least one spec")
+        with self._lock:
+            if name in self._entries and not overwrite:
+                raise ConfigError(f"registry name {name!r} already taken")
+            self._entries[name] = _Entry(name, description, specs=specs,
+                                         loader=loader, source=source)
+        return name
+
+    def lookup(self, name):
+        """The spec tuple registered under ``name`` (loaders memoize)."""
+        name = normalize_name(name)
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            raise KeyError(name)
+        if entry.specs is None:
+            specs = tuple(entry.loader())
+            with self._lock:
+                entry.specs = specs
+        return entry.specs
+
+    def names(self, prefix=None):
+        """Sorted names, optionally restricted to one subtree (a prefix
+        matches whole segments: ``paper`` lists ``paper/figure3`` but a
+        name ``papers/x`` stays out)."""
+        with self._lock:
+            names = sorted(self._entries)
+        if prefix is None:
+            return names
+        prefix = normalize_name(prefix)
+        return [n for n in names if n == prefix or n.startswith(prefix + "/")]
+
+    def describe(self, prefix=None):
+        """Listing payload: one row per entry, spec counts only for
+        already-materialized entries (lazy plans stay lazy)."""
+        rows = []
+        for name in self.names(prefix):
+            with self._lock:
+                entry = self._entries[name]
+            rows.append(
+                {
+                    "name": entry.name,
+                    "description": entry.description,
+                    "source": entry.source,
+                    "specs": len(entry.specs) if entry.specs is not None else None,
+                }
+            )
+        return rows
+
+    def __contains__(self, name):
+        try:
+            with self._lock:
+                return normalize_name(name) in self._entries
+        except ConfigError:
+            return False
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+
+def default_registry(procs=None, quick=True):
+    """The registry a server boots with.
+
+    ``bench/*`` resolve through :func:`repro.harness.bench.suite_specs`
+    (each suite keeps its pinned processor count unless ``procs``
+    overrides it); ``paper/*`` and ``ablation/*`` resolve through the
+    experiment planners at ``quick`` scale — the plan phase builds specs
+    only, no simulation runs.
+    """
+    from repro.harness import bench
+
+    registry = SweepRegistry()
+    for suite in sorted(bench.SUITES):
+        registry.register(
+            f"bench/{suite}",
+            loader=_bench_loader(suite, procs),
+            description=f"pinned bench suite '{suite}' "
+            f"({len(bench.SUITES[suite])} runs, procs={procs or bench.SUITE_PROCS[suite]})",
+            source="seed",
+        )
+    from repro.harness.cli import PLANNERS
+
+    for name, planner in sorted(PLANNERS.items()):
+        path = normalize_name(name if "/" in name or ":" in name else f"paper/{name}")
+        registry.register(
+            path,
+            loader=_planner_loader(planner, procs, quick),
+            description=f"experiment plan '{name}' "
+            f"({'quick' if quick else 'full'} scale, procs={procs or 8})",
+            source="seed",
+        )
+    return registry
+
+
+def _bench_loader(suite, procs):
+    def load():
+        from repro.harness import bench
+
+        return [spec for _workload, _protocol, spec in bench.suite_specs(suite, procs=procs)]
+
+    return load
+
+
+def _planner_loader(planner, procs, quick):
+    def load():
+        from repro.harness.experiment import ExperimentRunner
+        from repro.harness.telemetry import TelemetryConfig
+
+        # An inert TelemetryConfig keeps the planner's throwaway pool off
+        # the DSI_LOG/DSI_PROFILE environment (plan phase only — no runs).
+        runner = ExperimentRunner(
+            n_procs=procs or 8, quick=quick, jobs=1, telemetry=TelemetryConfig()
+        )
+        return list(planner(runner))
+
+    return load

@@ -698,9 +698,43 @@ class TestCli:
         assert cli.main(["report", str(tmp_path / "absent.jsonl")]) == 2
         empty = tmp_path / "empty.jsonl"
         empty.write_text("")
-        assert cli.main(["report", str(empty)]) == 2
+        assert cli.main(["report", str(empty)]) == 1
+        err = capsys.readouterr().err
+        assert "no telemetry events" in err
         assert cli.main(["report"]) == 2
         capsys.readouterr()
+
+    def test_report_survives_truncated_log(self, tmp_path, capsys):
+        """A log whose final line was cut mid-write (crashed sweep) still
+        reports the valid prefix — with a warning and exit 1."""
+        from repro.harness import cli
+
+        hub = T.TelemetryHub([T.JsonlSink(str(tmp_path / "cut.jsonl"))])
+        hub.begin_sweep("s1")
+        hub.emit(T.make_event(
+            "sweep_begin", specs=1, pending=1, jobs=1, fingerprint="f" * 16
+        ))
+        hub.emit(T.make_event(
+            "run_queued", spec_key="k" * 64, workload="ocean", label="SC"
+        ))
+        hub.close()
+        log = tmp_path / "cut.jsonl"
+        log.write_text(log.read_text() + '{"type": "run_fini')  # torn write
+        assert cli.main(["report", str(log)]) == 1
+        captured = capsys.readouterr()
+        assert "not JSON" in captured.err
+        assert "valid events" in captured.err
+        assert "runs: 1" in captured.out  # the prefix was analyzed
+
+    def test_report_all_lines_invalid_exits_clearly(self, tmp_path, capsys):
+        from repro.harness import cli
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n{\n")
+        assert cli.main(["report", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "no valid telemetry events" in err
+        assert "bad line" in err
 
     def test_bench_with_telemetry(self, tmp_path, capsys, monkeypatch):
         from repro.harness import cli
